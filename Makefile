@@ -1,0 +1,46 @@
+# Convenience targets for the tcfpram reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench table figures net examples fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+table:
+	$(GO) run ./cmd/tablegen
+
+figures:
+	$(GO) run ./cmd/figgen all
+
+net:
+	$(GO) run ./cmd/netbench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/prefixsum
+	$(GO) run ./examples/mergesort
+	$(GO) run ./examples/multitask
+	$(GO) run ./examples/variants
+	$(GO) run ./examples/bfs
+	$(GO) run ./examples/matmul
+
+fuzz:
+	$(GO) test -fuzz=FuzzAssemble -fuzztime=30s ./internal/isa/
+	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/isa/
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/lang/
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,80 @@
+// Command netbench exercises the cycle-level interconnect simulator: mesh
+// and torus networks under uniform random and hotspot traffic, sweeping
+// size, load and link capacity — the bandwidth experiments behind the ESM
+// substrate assumption (Figure 1).
+//
+// Usage:
+//
+//	netbench [-sizes 2,4,8] [-pernode 16] [-cap 2] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tcfpram/internal/network"
+)
+
+func main() {
+	sizes := flag.String("sizes", "2,4,6,8", "comma-separated mesh side lengths")
+	perNode := flag.Int("pernode", 16, "packets injected per node")
+	linkCap := flag.Int("cap", 2, "link capacity (packets per cycle)")
+	seed := flag.Int64("seed", 1, "traffic seed")
+	flag.Parse()
+
+	fmt.Printf("uniform random traffic, %d packets/node, link capacity %d\n\n", *perNode, *linkCap)
+	fmt.Printf("%-8s %-8s %-12s %-10s %-12s %-12s\n", "nodes", "kind", "avg latency", "avg hops", "max latency", "throughput")
+	for _, f := range strings.Split(*sizes, ",") {
+		side, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || side <= 0 {
+			fmt.Fprintf(os.Stderr, "netbench: bad size %q\n", f)
+			os.Exit(1)
+		}
+		for _, kind := range []network.Kind{network.Mesh2D, network.Torus2D} {
+			s, err := network.RandomTraffic(network.Config{
+				Kind: kind, Width: side, Height: side, LinkCapacity: *linkCap,
+			}, *perNode, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "netbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-8d %-8s %-12.2f %-10.2f %-12d %-12.3f\n",
+				side*side, kind, s.AvgLatency, s.AvgHops, s.MaxLatency, s.Throughput)
+		}
+	}
+
+	// Classic traffic patterns on an 8x8 torus.
+	fmt.Printf("\ntraffic patterns, 8x8 torus, %d packets/node, link capacity %d\n\n", *perNode, *linkCap)
+	fmt.Printf("%-14s %-12s %-10s %-12s\n", "pattern", "avg latency", "avg hops", "throughput")
+	for _, p := range network.Patterns() {
+		s, err := network.PatternTraffic(network.Config{
+			Kind: network.Torus2D, Width: 8, Height: 8, LinkCapacity: *linkCap,
+		}, p, *perNode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-14s %-12.2f %-10.2f %-12.3f\n", p, s.AvgLatency, s.AvgHops, s.Throughput)
+	}
+
+	// Hotspot: everyone targets node 0.
+	fmt.Printf("\nhotspot traffic (all nodes -> node 0), 8x8 mesh\n")
+	n, err := network.New(network.Config{Kind: network.Mesh2D, Width: 8, Height: 8, LinkCapacity: *linkCap})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netbench:", err)
+		os.Exit(1)
+	}
+	for src := 1; src < n.Size(); src++ {
+		n.Inject(src, 0)
+	}
+	if !n.Drain(1_000_000) {
+		fmt.Fprintln(os.Stderr, "netbench: hotspot drain stuck")
+		os.Exit(1)
+	}
+	s := n.Stats()
+	fmt.Printf("delivered=%d avg latency=%.2f (uncontended distance avg %.2f) max=%d\n",
+		s.Delivered, s.AvgLatency, s.AvgHops+2, s.MaxLatency)
+}

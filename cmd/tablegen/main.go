@@ -1,0 +1,31 @@
+// Command tablegen regenerates the paper's Table 1 — the key properties and
+// measured costs of primitive operations for the six variants of the
+// extended PRAM-NUMA model — on the reference P=4, Tp=4, R=16, b=4 machine.
+//
+// Usage:
+//
+//	tablegen [-u thickness] [-k instructions]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tcfpram/internal/exper"
+)
+
+func main() {
+	u := flag.Int("u", 16, "thickness of the measured TCF instructions")
+	k := flag.Int("k", 8, "straight-line thick instructions in the fetch workload")
+	flag.Parse()
+
+	rows, err := exper.Table1(*k, *u)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tablegen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Table 1 — key properties and measured primitive costs (P=%d, Tp=%d, R=%d, b=%d)\n\n",
+		exper.P, exper.Tp, exper.R, exper.B)
+	fmt.Print(exper.FormatTable1(rows, *u))
+}

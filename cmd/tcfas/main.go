@@ -1,0 +1,89 @@
+// Command tcfas is the TCF toolchain front end: it assembles .tasm sources
+// or compiles .te (tcf-e) sources into TCFB binary objects (.tbin) that
+// tcfrun and the machine loader accept, and disassembles .tbin objects back
+// to source.
+//
+// Usage:
+//
+//	tcfas -o prog.tbin prog.tasm      # assemble
+//	tcfas -o prog.tbin prog.te        # compile tcf-e
+//	tcfas -d prog.tbin                # disassemble to stdout
+//	tcfas -l prog.tasm                # listing with PCs to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tcfpram/internal/codegen"
+	"tcfpram/internal/isa"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tcfas:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tcfas", flag.ContinueOnError)
+	output := fs.String("o", "", "output .tbin object path")
+	disasm := fs.Bool("d", false, "disassemble a .tbin object to stdout")
+	listing := fs.Bool("l", false, "print a PC-annotated listing to stdout")
+	langSel := fs.String("lang", "", "force source language: tcfe|asm (default: by extension)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one input file")
+	}
+	path := fs.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+
+	var prog *isa.Program
+	switch {
+	case strings.HasSuffix(path, ".tbin"):
+		prog, err = isa.Decode(data)
+	case *langSel == "asm" || strings.HasSuffix(path, ".tasm"):
+		prog, err = isa.Assemble(path, string(data))
+	case *langSel == "tcfe" || strings.HasSuffix(path, ".te"):
+		var c *codegen.Compiled
+		c, err = codegen.CompileSource(path, string(data))
+		if err == nil {
+			prog = c.Program
+			if len(c.LocalData) > 0 {
+				fmt.Fprintf(os.Stderr, "tcfas: warning: %s has local-memory initializers; the .tbin object carries shared data only\n", path)
+			}
+		}
+	default:
+		return fmt.Errorf("cannot infer language of %q (use -lang tcfe|asm)", path)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *disasm {
+		fmt.Fprint(out, prog.Disassemble())
+	}
+	if *listing {
+		fmt.Fprint(out, prog.Listing())
+	}
+	if *output != "" {
+		if err := os.WriteFile(*output, isa.Encode(prog), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s: %d instructions, %d data segments\n",
+			*output, prog.Len(), len(prog.Data))
+	}
+	if !*disasm && !*listing && *output == "" {
+		return fmt.Errorf("nothing to do: pass -o, -d or -l")
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tcfpram/internal/isa"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const asmSrc = `
+.data 100: 1 2 3
+main:
+    LDI S0, 4
+    SETTHICK S0
+    TID V0
+    ST V0+200, V0
+    HALT
+`
+
+func TestAssembleToObject(t *testing.T) {
+	src := write(t, "p.tasm", asmSrc)
+	obj := filepath.Join(t.TempDir(), "p.tbin")
+	var out bytes.Buffer
+	if err := run([]string{"-o", obj, src}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Fatalf("output: %s", out.String())
+	}
+	blob, err := os.ReadFile(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := isa.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 5 || len(p.Data) != 1 {
+		t.Fatalf("decoded: %d instrs %d segs", p.Len(), len(p.Data))
+	}
+}
+
+func TestCompileTCFEToObject(t *testing.T) {
+	src := write(t, "p.te", "func main() { print(7); }")
+	obj := filepath.Join(t.TempDir(), "p.tbin")
+	var out bytes.Buffer
+	if err := run([]string{"-o", obj, src}, &out); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := os.ReadFile(obj)
+	if _, err := isa.Decode(blob); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisassembleObject(t *testing.T) {
+	src := write(t, "p.tasm", asmSrc)
+	obj := filepath.Join(t.TempDir(), "p.tbin")
+	var out bytes.Buffer
+	if err := run([]string{"-o", obj, src}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-d", obj}, &out); err != nil {
+		t.Fatal(err)
+	}
+	dis := out.String()
+	for _, want := range []string{"SETTHICK", ".data 100: 1 2 3", "main:"} {
+		if !strings.Contains(dis, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+	// The disassembly must reassemble to the same program.
+	if _, err := isa.Assemble("rt", dis); err != nil {
+		t.Fatalf("disassembly does not reassemble: %v", err)
+	}
+}
+
+func TestListing(t *testing.T) {
+	src := write(t, "p.tasm", asmSrc)
+	var out bytes.Buffer
+	if err := run([]string{"-l", src}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "   0    LDI S0, 4") {
+		t.Fatalf("listing:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	te := write(t, "p.te", "func main() { }")
+	unknownExt := write(t, "p.xyz", "x")
+	cases := [][]string{
+		{},                 // no input
+		{te},               // nothing to do
+		{unknownExt, "-o"}, // flag after positional: parse stops; nothing to do
+		{"-o", filepath.Join(t.TempDir(), "o.tbin"), unknownExt}, // unknown language
+		{"-o", "/nonexistent-dir/x.tbin", te},                    // unwritable output
+		{filepath.Join(t.TempDir(), "missing.tasm")},             // unreadable input
+	}
+	for i, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

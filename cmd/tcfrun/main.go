@@ -1,0 +1,141 @@
+// Command tcfrun compiles and executes a tcf-e (.te) or TCF assembler
+// (.tasm) program on a chosen execution variant of the extended PRAM-NUMA
+// machine, then reports results and statistics.
+//
+// Usage:
+//
+//	tcfrun [flags] program.te
+//	tcfrun [flags] program.tasm
+//	echo 'func main() { print(42); }' | tcfrun -lang tcfe -
+//
+// Flags select the variant (-variant tcf|balanced|xmt|esm|pram-numa|simd),
+// machine shape (-groups, -procs), and diagnostics (-trace, -gantt, -dis).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tcfpram"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tcfrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tcfrun", flag.ContinueOnError)
+	variantName := fs.String("variant", "tcf", "execution variant: tcf|balanced|xmt|esm|pram-numa|simd (or full names)")
+	groups := fs.Int("groups", 0, "processor groups P (0 = variant default)")
+	procs := fs.Int("procs", 0, "TCF processor slots per group Tp (0 = default)")
+	bound := fs.Int("bound", 0, "balanced variant operation bound b (0 = default)")
+	langSel := fs.String("lang", "", "force source language: tcfe|asm (default: by extension)")
+	showTrace := fs.Bool("trace", false, "print the step timeline")
+	showGantt := fs.Bool("gantt", false, "print the occupancy gantt")
+	showDis := fs.Bool("dis", false, "print the compiled program listing")
+	showMem := fs.String("mem", "", "dump shared memory range, e.g. -mem 300:8")
+	svgPath := fs.String("svg", "", "write the schedule as an SVG file (implies tracing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one program file (or '-' for stdin)")
+	}
+	path := fs.Arg(0)
+
+	kind, err := tcfpram.ParseVariant(*variantName)
+	if err != nil {
+		return err
+	}
+	cfg := tcfpram.DefaultConfig(kind)
+	if *groups > 0 {
+		cfg.Groups = *groups
+	}
+	if *procs > 0 {
+		cfg.ProcsPerGroup = *procs
+	}
+	if *bound > 0 {
+		cfg.BalancedBound = *bound
+	}
+	cfg.TraceEnabled = *showTrace || *showGantt || *svgPath != ""
+
+	var src []byte
+	if path == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+
+	lang := ""
+	switch {
+	case strings.HasSuffix(path, ".tasm"):
+		lang = "asm"
+	case strings.HasSuffix(path, ".tbin"):
+		lang = "bin"
+	default:
+		lang = "tcfe"
+	}
+	switch *langSel {
+	case "asm", "tcfe", "bin":
+		lang = *langSel
+	case "":
+	default:
+		return fmt.Errorf("unknown -lang %q (want tcfe, asm or bin)", *langSel)
+	}
+
+	m, err := tcfpram.NewMachine(cfg)
+	if err != nil {
+		return err
+	}
+	switch lang {
+	case "asm":
+		err = m.LoadAssembly(path, string(src))
+	case "bin":
+		err = m.LoadBinary(src)
+	default:
+		err = m.LoadSource(path, string(src))
+	}
+	if err != nil {
+		return err
+	}
+	if *showDis {
+		fmt.Fprintln(out, m.Disassembly())
+	}
+	stats, runErr := m.Run()
+	for _, o := range m.Outputs() {
+		fmt.Fprintln(out, o)
+	}
+	if *showMem != "" {
+		var addr int64
+		var n int
+		if _, err := fmt.Sscanf(*showMem, "%d:%d", &addr, &n); err != nil {
+			return fmt.Errorf("bad -mem %q (want addr:count)", *showMem)
+		}
+		fmt.Fprintf(out, "mem[%d:%d] = %v\n", addr, addr+int64(n), m.Words(addr, n))
+	}
+	if *showTrace {
+		fmt.Fprintln(out, m.Timeline())
+	}
+	if *showGantt {
+		fmt.Fprintln(out, m.Gantt())
+	}
+	if *svgPath != "" {
+		if werr := os.WriteFile(*svgPath, []byte(m.TraceSVG()), 0o644); werr != nil {
+			return werr
+		}
+		fmt.Fprintf(out, "wrote schedule SVG to %s\n", *svgPath)
+	}
+	if stats != nil {
+		fmt.Fprintf(out, "variant=%s %s\n", kind, stats)
+	}
+	return runErr
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"tcfpram/internal/isa"
+
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTCFESource(t *testing.T) {
+	path := write(t, "p.te", `
+shared int c[4] @ 300;
+func main() {
+    #4;
+    c[tid] = tid * 7;
+    print(radd(c[tid]));
+}
+`)
+	var out bytes.Buffer
+	if err := run([]string{"-mem", "300:4", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"[42]", "mem[300:304] = [0 7 14 21]", "variant=single-instruction"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunAssemblySource(t *testing.T) {
+	path := write(t, "p.tasm", "main:\nLDI S0, 9\nPRINT S0\nHALT\n")
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "[9]") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestVariantSelection(t *testing.T) {
+	path := write(t, "p.te", "func main() { print(fid); }")
+	var out bytes.Buffer
+	if err := run([]string{"-variant", "esm", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// 16 threads each print their flow id.
+	if got := strings.Count(out.String(), "[flow"); got != 16 {
+		t.Fatalf("expected 16 outputs on esm, got %d:\n%s", got, out.String())
+	}
+}
+
+func TestTraceAndDisFlags(t *testing.T) {
+	path := write(t, "p.te", "func main() { #4; thick int v = tid; print(radd(v)); }")
+	var out bytes.Buffer
+	if err := run([]string{"-trace", "-gantt", "-dis", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"SETTHICK", "step", "G0:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestMachineShapeFlags(t *testing.T) {
+	path := write(t, "p.te", "func main() { print(nproc); print(ngroups); }")
+	var out bytes.Buffer
+	if err := run([]string{"-groups", "2", "-procs", "3", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "[6]") || !strings.Contains(out.String(), "[2]") {
+		t.Fatalf("shape flags ignored:\n%s", out.String())
+	}
+}
+
+func TestLangOverride(t *testing.T) {
+	// A .txt file forced to assembly.
+	path := write(t, "p.txt", "main:\nPRINTS \"asm\"\nHALT\n")
+	var out bytes.Buffer
+	if err := run([]string{"-lang", "asm", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "asm") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	te := write(t, "p.te", "func main() { }")
+	cases := [][]string{
+		{},                        // no file
+		{"-variant", "bogus", te}, // unknown variant
+		{"-lang", "bogus", te},    // unknown lang
+		{"-mem", "nope", te},      // bad mem spec
+		{filepath.Join(t.TempDir(), "missing.te")}, // unreadable
+	}
+	for i, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestRuntimeErrorPropagates(t *testing.T) {
+	path := write(t, "p.te", "func main() { #4; halt; }")
+	// Using SETTHICK on the fixed-thickness variant is a machine error.
+	var out bytes.Buffer
+	if err := run([]string{"-variant", "simd", path}, &out); err == nil {
+		t.Fatal("expected runtime error")
+	}
+}
+
+func TestCompileErrorPropagates(t *testing.T) {
+	path := write(t, "p.te", "func main() { undeclared = 1; }")
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err == nil {
+		t.Fatal("expected compile error")
+	}
+}
+
+func TestRunBinaryObject(t *testing.T) {
+	// End-to-end toolchain: assemble to .tbin elsewhere, run here.
+	asm := "main:\nLDI S0, 3\nSETTHICK S0\nTID V0\nST V0+600, V0\nHALT\n"
+	p, err := isaAssemble(asm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.tbin")
+	if err := os.WriteFile(path, p, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-mem", "600:3", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mem[600:603] = [0 1 2]") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+// isaAssemble produces a TCFB blob for the binary-object test.
+func isaAssemble(src string) ([]byte, error) {
+	p, err := isa.Assemble("t", src)
+	if err != nil {
+		return nil, err
+	}
+	return isa.Encode(p), nil
+}
+
+func TestSVGOutput(t *testing.T) {
+	path := write(t, "p.te", "func main() { #6; thick int v = tid; print(radd(v)); }")
+	svg := filepath.Join(t.TempDir(), "sched.svg")
+	var out bytes.Buffer
+	if err := run([]string{"-svg", svg, path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Fatalf("not an svg: %.80s", data)
+	}
+}

@@ -1,0 +1,3 @@
+module tcfpram
+
+go 1.22

@@ -1,0 +1,344 @@
+// Package codegen compiles checked tcf-e programs to the TCF machine ISA.
+//
+// Register allocation is static: every function gets a frame of scalar (S)
+// and thick (V) registers. Frames of callees start after the frames of all
+// their callers (the call graph is acyclic — sema rejects recursion), so a
+// call never clobbers live caller state and the flow-level call stack only
+// needs return addresses, exactly as the machine provides. Expression
+// temporaries are stack-allocated within the frame and released as soon as
+// they are consumed: every emitted instruction reads all its sources before
+// writing any lane, so a result may safely reuse its operands' registers —
+// the register pressure of an expression is its depth, not its node count.
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"tcfpram/internal/isa"
+	"tcfpram/internal/lang"
+	"tcfpram/internal/sema"
+)
+
+// Compiled is the result of compilation.
+type Compiled struct {
+	Program *isa.Program
+	Info    *sema.Info
+	// LocalData must be preloaded into every group's local memory before
+	// running (initializers of `local` globals).
+	LocalData []sema.DataSeg
+}
+
+// Compile type-checks and compiles a parsed program.
+func Compile(prog *lang.Program) (*Compiled, error) {
+	info, err := sema.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	return CompileChecked(info)
+}
+
+// CompileSource parses, checks and compiles tcf-e source.
+func CompileSource(name, src string) (*Compiled, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	c.Program.Name = name
+	return c, nil
+}
+
+// CompileChecked compiles an already-checked program.
+func CompileChecked(info *sema.Info) (*Compiled, error) {
+	// Pass 1: measure frame sizes with zero bases.
+	sizes := map[string]frameSize{}
+	for _, fn := range info.Prog.Funcs {
+		g := newGen(info, isa.NewBuilder("measure"), map[string]int{})
+		fr, err := g.compileFunc(fn, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		sizes[fn.Name] = fr.size()
+	}
+	// Bases: topological order over the call DAG; base(f) = max frame end
+	// of any caller.
+	sBase, vBase, err := frameBases(info, sizes)
+	if err != nil {
+		return nil, err
+	}
+	// Pass 2: emit for real. main first so that the entry label is PC 0.
+	b := isa.NewBuilder("tcf-e")
+	for _, d := range info.Data {
+		b.Data(d.Addr, d.Words...)
+	}
+	g := newGen(info, b, sBase)
+	ordered := orderedFuncs(info)
+	for _, fn := range ordered {
+		if _, err := g.compileFunc(fn, sBase[fn.Name], vBase[fn.Name]); err != nil {
+			return nil, err
+		}
+	}
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{Program: p, Info: info, LocalData: info.LocalData}, nil
+}
+
+// orderedFuncs returns main first, then the rest in declaration order.
+func orderedFuncs(info *sema.Info) []*lang.FuncDecl {
+	out := []*lang.FuncDecl{info.Prog.Func("main")}
+	for _, fn := range info.Prog.Funcs {
+		if fn.Name != "main" {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+type frameSize struct{ s, v int }
+
+// frameBases assigns register frame bases so callee frames start after all
+// caller frames.
+func frameBases(info *sema.Info, sizes map[string]frameSize) (sBase, vBase map[string]int, err error) {
+	sBase = map[string]int{}
+	vBase = map[string]int{}
+	// Longest-path layering over the call DAG, iterated to fixpoint (the
+	// graph is small and acyclic).
+	names := make([]string, 0, len(info.Funcs))
+	for name := range info.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for changed := true; changed; {
+		changed = false
+		for _, name := range names {
+			fi := info.Funcs[name]
+			for _, callee := range fi.Calls {
+				sEnd := sBase[name] + sizes[name].s
+				vEnd := vBase[name] + sizes[name].v
+				if sBase[callee] < sEnd {
+					sBase[callee] = sEnd
+					changed = true
+				}
+				if vBase[callee] < vEnd {
+					vBase[callee] = vEnd
+					changed = true
+				}
+			}
+		}
+	}
+	for _, name := range names {
+		if sBase[name]+sizes[name].s > isa.NumSRegs {
+			return nil, nil, fmt.Errorf("codegen: scalar register file exhausted in %s (need %d of %d); flatten the call chain or use fewer variables",
+				name, sBase[name]+sizes[name].s, isa.NumSRegs)
+		}
+		if vBase[name]+sizes[name].v > isa.NumVRegs {
+			return nil, nil, fmt.Errorf("codegen: thick register file exhausted in %s (need %d of %d)",
+				name, vBase[name]+sizes[name].v, isa.NumVRegs)
+		}
+	}
+	return sBase, vBase, nil
+}
+
+// frame tracks register allocation within one function.
+type frame struct {
+	name         string
+	sBase, vBase int
+	sVar         map[*sema.Sym]int
+	vVar         map[*sema.Sym]int
+	sCount       int
+	vCount       int
+	sTemp, sMax  int
+	vTemp, vMax  int
+	retSlot      int // scalar slot of the return value (-1 if none)
+}
+
+func (fr *frame) size() frameSize {
+	return frameSize{s: fr.sCount + fr.sMax, v: fr.vCount + fr.vMax}
+}
+
+type gen struct {
+	info   *sema.Info
+	b      *isa.Builder
+	fr     *frame
+	labels int
+	// loops is the enclosing-loop label stack for break/continue.
+	loops []loopLabels
+	// calleeSBase maps function name to its scalar frame base (zero map in
+	// the measuring pass; the real layout in the emit pass).
+	calleeSBase map[string]int
+}
+
+func newGen(info *sema.Info, b *isa.Builder, sBases map[string]int) *gen {
+	return &gen{info: info, b: b, calleeSBase: sBases}
+}
+
+// loopLabels are the jump targets of the innermost loop.
+type loopLabels struct {
+	breakL    string
+	continueL string
+}
+
+func (g *gen) label(prefix string) string {
+	g.labels++
+	return fmt.Sprintf(".%s%d", prefix, g.labels)
+}
+
+func (g *gen) errf(pos lang.Pos, format string, args ...any) error {
+	return fmt.Errorf("codegen: %s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+// ---- frame register helpers ----
+
+func (g *gen) sVarReg(sym *sema.Sym) isa.Reg {
+	slot, ok := g.fr.sVar[sym]
+	if !ok {
+		slot = g.fr.sCount
+		g.fr.sCount++
+		g.fr.sVar[sym] = slot
+	}
+	return g.sReg(slot)
+}
+
+func (g *gen) vVarReg(sym *sema.Sym) isa.Reg {
+	slot, ok := g.fr.vVar[sym]
+	if !ok {
+		slot = g.fr.vCount
+		g.fr.vCount++
+		g.fr.vVar[sym] = slot
+	}
+	return g.vReg(slot)
+}
+
+func (g *gen) sReg(slot int) isa.Reg {
+	idx := g.fr.sBase + slot
+	if idx >= isa.NumSRegs {
+		// Pass 2 has validated totals; this guards pass-1 overflow with
+		// a deferred error via panic/recover-free saturation: report at
+		// Build time by emitting S15 (validation in frameBases catches
+		// the real overflow).
+		idx = isa.NumSRegs - 1
+	}
+	return isa.S(idx)
+}
+
+func (g *gen) vReg(slot int) isa.Reg {
+	idx := g.fr.vBase + slot
+	if idx >= isa.NumVRegs {
+		idx = isa.NumVRegs - 1
+	}
+	return isa.V(idx)
+}
+
+// temp allocation (stack discipline within the expression being compiled).
+
+func (g *gen) allocS() isa.Reg {
+	slot := g.fr.sCount + g.fr.sTemp
+	g.fr.sTemp++
+	if g.fr.sTemp > g.fr.sMax {
+		g.fr.sMax = g.fr.sTemp
+	}
+	return g.sReg(slot)
+}
+
+func (g *gen) allocV() isa.Reg {
+	slot := g.fr.vCount + g.fr.vTemp
+	g.fr.vTemp++
+	if g.fr.vTemp > g.fr.vMax {
+		g.fr.vMax = g.fr.vTemp
+	}
+	return g.vReg(slot)
+}
+
+// mark/release implement temp stack frames around expression evaluation.
+type mark struct{ s, v int }
+
+func (g *gen) mark() mark     { return mark{g.fr.sTemp, g.fr.vTemp} }
+func (g *gen) release(m mark) { g.fr.sTemp, g.fr.vTemp = m.s, m.v }
+
+// value is an expression result: an immediate constant or a register.
+type value struct {
+	imm   int64
+	isImm bool
+	reg   isa.Reg
+	thick bool
+}
+
+func immVal(v int64) value   { return value{imm: v, isImm: true} }
+func regVal(r isa.Reg) value { return value{reg: r, thick: r.IsVector()} }
+
+// materialize puts v into a register (scalar for immediates).
+func (g *gen) materialize(v value) isa.Reg {
+	if !v.isImm {
+		return v.reg
+	}
+	r := g.allocS()
+	g.b.Ldi(r, v.imm)
+	return r
+}
+
+// ---- function compilation ----
+
+func (g *gen) compileFunc(fn *lang.FuncDecl, sBase, vBase int) (*frame, error) {
+	fi := g.info.Funcs[fn.Name]
+	g.fr = &frame{
+		name: fn.Name, sBase: sBase, vBase: vBase,
+		sVar: map[*sema.Sym]int{}, vVar: map[*sema.Sym]int{},
+		retSlot: -1,
+	}
+	if fi.Returns {
+		g.fr.retSlot = g.fr.sCount
+		g.fr.sCount++
+	}
+	for _, p := range fi.Params {
+		g.sVarReg(p)
+	}
+	g.b.Label(funcLabel(fn.Name))
+	if err := g.stmt(fn.Body); err != nil {
+		return nil, err
+	}
+	// Fallthrough epilogue.
+	if fn.Name == "main" {
+		g.b.Halt()
+	} else {
+		g.b.Op(isa.RET)
+	}
+	return g.fr, nil
+}
+
+func funcLabel(name string) string {
+	if name == "main" {
+		return "main"
+	}
+	return "fn_" + name
+}
+
+// paramReg returns the register of callee's i'th parameter given its frame
+// base (recomputed from the same deterministic layout).
+func (g *gen) calleeFrameLayout(name string) (retReg isa.Reg, params []isa.Reg) {
+	// The layout mirrors compileFunc: [ret?][params...].
+	fi := g.info.Funcs[name]
+	base := g.calleeSBase[name]
+	slot := 0
+	if fi.Returns {
+		retReg = isa.S(min(base+slot, isa.NumSRegs-1))
+		slot++
+	}
+	for range fi.Params {
+		params = append(params, isa.S(min(base+slot, isa.NumSRegs-1)))
+		slot++
+	}
+	return retReg, params
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,707 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"tcfpram/internal/machine"
+	"tcfpram/internal/variant"
+)
+
+// run compiles src and executes it on the given variant, returning the
+// machine for inspection.
+func run(t *testing.T, kind variant.Kind, src string) *machine.Machine {
+	t.Helper()
+	m, err := tryRun(t, kind, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func tryRun(t *testing.T, kind variant.Kind, src string) (*machine.Machine, error) {
+	t.Helper()
+	c, err := CompileSource("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cfg := machine.Default(kind)
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(c.Program); err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range c.LocalData {
+		for g := 0; g < cfg.Groups; g++ {
+			if err := m.LocalMem(g).Load(seg.Addr, seg.Words); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	_, err = m.Run()
+	return m, err
+}
+
+// outputs collects scalar print values.
+func outputs(m *machine.Machine) []int64 {
+	var out []int64
+	for _, o := range m.Outputs() {
+		out = append(out, o.Values...)
+	}
+	return out
+}
+
+func TestVectorAddSection4(t *testing.T) {
+	src := `
+shared int a[8] @ 100 = {1, 2, 3, 4, 5, 6, 7, 8};
+shared int b[8] @ 200 = {10, 20, 30, 40, 50, 60, 70, 80};
+shared int c[8] @ 300;
+
+func main() {
+    #8;
+    c[tid] = a[tid] + b[tid];
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	got := m.Shared().Snapshot(300, 8)
+	for i := 0; i < 8; i++ {
+		want := int64(i+1) + int64(i+1)*10
+		if got[i] != want {
+			t.Fatalf("c[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestArithmeticAndPrint(t *testing.T) {
+	src := `
+func main() {
+    int x = 5;
+    int y = x * 3 + 2;
+    print(y);
+    print(y / 4);
+    print(y % 4);
+    print(-y);
+    print(~0);
+    print(!0);
+    print(!7);
+    print(1 << 4);
+    print(256 >> 3);
+    print(7 & 12);
+    print(7 | 12);
+    print(7 ^ 12);
+    print(3 < 4);
+    print(4 <= 4);
+    print(5 > 6);
+    print(5 >= 6);
+    print(5 == 5);
+    print(5 != 5);
+    print(1 && 2);
+    print(1 && 0);
+    print(0 || 3);
+    print(0 || 0);
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	want := []int64{17, 4, 1, -17, -1, 1, 0, 16, 32, 4, 15, 11, 1, 1, 0, 0, 1, 0, 1, 0, 1, 0}
+	got := outputs(m)
+	if len(got) != len(want) {
+		t.Fatalf("got %d outputs, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNonConstantFoldingPaths(t *testing.T) {
+	// Same operations but through runtime variables (no constant folding).
+	src := `
+func main() {
+    int a = 7;
+    int b = 12;
+    print(a & b);
+    print(a | b);
+    print(a ^ b);
+    print((a < b) && (b < 100));
+    print((a > b) || (b > 100));
+    print(2 - a);
+    print(100 / a);
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	want := []int64{4, 15, 11, 1, 0, -5, 14}
+	got := outputs(m)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output %d = %d, want %d (all %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+func main() {
+    int sum = 0;
+    for (int i = 0; i < 10; i = i + 1) {
+        if (i % 2 == 0) {
+            sum += i;
+        } else {
+            sum += 1;
+        }
+    }
+    print(sum);
+    int n = 0;
+    while (n < 5) {
+        n += 2;
+    }
+    print(n);
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	got := outputs(m)
+	if got[0] != 25 || got[1] != 6 {
+		t.Fatalf("control flow outputs %v, want [25 6]", got)
+	}
+}
+
+func TestFunctionsAndReturns(t *testing.T) {
+	src := `
+func main() {
+    print(fib(10));
+    print(addmul(3, 4));
+}
+
+func addmul(x, y) {
+    return x * y + helper(x);
+}
+
+func helper(v) {
+    return v + 1;
+}
+
+func fib(n) {
+    int a = 0;
+    int b = 1;
+    for (int i = 0; i < n; i += 1) {
+        int t = a + b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	got := outputs(m)
+	if got[0] != 55 || got[1] != 16 {
+		t.Fatalf("function outputs %v, want [55 16]", got)
+	}
+}
+
+func TestFlowLevelCallWithThickness(t *testing.T) {
+	// A thickness-8 flow calls a function once; the body executes across
+	// the whole thickness (Section 2.2's novel call semantics).
+	src := `
+shared int c[8] @ 300;
+
+func main() {
+    #8;
+    store();
+}
+
+func store() {
+    c[tid] = tid * 2;
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	got := m.Shared().Snapshot(300, 8)
+	for i := range got {
+		if got[i] != int64(2*i) {
+			t.Fatalf("c = %v", got)
+		}
+	}
+	// One CALL instruction, not eight.
+	if m.Stats().Splits != 0 {
+		t.Fatal("call must not split the flow")
+	}
+}
+
+func TestParallelStatement(t *testing.T) {
+	src := `
+shared int a[4] @ 100 = {1, 2, 3, 4};
+shared int b[4] @ 200 = {5, 6, 7, 8};
+shared int c[8] @ 300;
+
+func main() {
+    int half = 4;
+    parallel {
+        #half: c[tid] = a[tid] + b[tid];
+        #half: c[tid + 4] = 0 - 1;
+    }
+    prints("joined");
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	got := m.Shared().Snapshot(300, 8)
+	want := []int64{6, 8, 10, 12, -1, -1, -1, -1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("c = %v, want %v", got, want)
+		}
+	}
+	outs := m.Outputs()
+	if outs[len(outs)-1].Text != "joined" {
+		t.Fatal("parent did not resume")
+	}
+}
+
+func TestThickVariablesAndReductions(t *testing.T) {
+	src := `
+func main() {
+    #10;
+    thick int v = tid + 1;
+    print(radd(v));
+    print(rmax(v));
+    print(rmin(v));
+    thick int mask = v & 1;
+    print(ror(mask));
+    print(rand(mask));
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	got := outputs(m)
+	want := []int64{55, 10, 1, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reductions %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMultiprefixIntrinsics(t *testing.T) {
+	src := `
+shared int sum @ 600;
+shared int pre[8] @ 700;
+
+func main() {
+    #8;
+    thick int p = mpadd(&sum, tid + 1);
+    pre[tid] = p;
+    madd(&sum, 100);
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	got := m.Shared().Snapshot(700, 8)
+	acc := int64(0)
+	for i := 0; i < 8; i++ {
+		if got[i] != acc {
+			t.Fatalf("prefix[%d] = %d, want %d", i, got[i], acc)
+		}
+		acc += int64(i + 1)
+	}
+	if total := m.Shared().Peek(600); total != 36+800 {
+		t.Fatalf("sum = %d, want 836", total)
+	}
+}
+
+func TestMemoryScalarsAndCompound(t *testing.T) {
+	src := `
+shared int counter @ 900 = 5;
+
+func main() {
+    counter += 10;
+    counter *= 2;
+    print(counter);
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	if got := outputs(m); got[0] != 30 {
+		t.Fatalf("counter = %v, want 30", got)
+	}
+	if m.Shared().Peek(900) != 30 {
+		t.Fatal("memory not updated")
+	}
+}
+
+func TestLocalMemoryVariables(t *testing.T) {
+	src := `
+local int buf[4] = {10, 20, 30, 40};
+local int acc;
+
+func main() {
+    #1/8;
+    acc = buf[0] + buf[1] + buf[2] + buf[3];
+    print(acc);
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	if got := outputs(m); got[0] != 100 {
+		t.Fatalf("local acc = %v, want 100", got)
+	}
+}
+
+func TestNumaStatementAndThicknessStatement(t *testing.T) {
+	src := `
+func main() {
+    #1/4;
+    int x = 0;
+    for (int i = 0; i < 16; i += 1) {
+        x += i;
+    }
+    print(x);
+    #4;
+    thick int v = tid;
+    print(radd(v));
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	got := outputs(m)
+	if got[0] != 120 || got[1] != 6 {
+		t.Fatalf("outputs %v, want [120 6]", got)
+	}
+}
+
+func TestDependentLoopCompiled(t *testing.T) {
+	// The Section 4 dependent loop written in tcf-e.
+	src := `
+shared int src[8] @ 100 = {1, 2, 3, 4, 5, 6, 7, 8};
+
+func main() {
+    int size = 8;
+    #size;
+    for (int i = 1; i < size; i = i << 1) {
+        thick int take = tid - i >= 0;
+        thick int other = src[tid - i];
+        thick int mine = src[tid];
+        thick int prod = mine * other;
+        thick int res = 0;
+        if (1) {
+            res = prod;
+        }
+        src[tid] = take * res + (1 - take) * mine;
+    }
+    print(src[0]);
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	got := m.Shared().Snapshot(100, 8)
+	acc := int64(1)
+	for i := 0; i < 8; i++ {
+		acc *= int64(i + 1)
+		if got[i] != acc {
+			t.Fatalf("scan[%d] = %d, want %d (all %v)", i, got[i], acc, got)
+		}
+	}
+}
+
+func TestBarrierCompiles(t *testing.T) {
+	src := `
+func main() {
+    barrier;
+    prints("after");
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	if m.Stats().Barriers != 1 {
+		t.Fatal("barrier not executed")
+	}
+}
+
+func TestHaltStatement(t *testing.T) {
+	src := `
+func main() {
+    prints("before");
+    halt;
+    prints("after");
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	outs := m.Outputs()
+	if len(outs) != 1 || outs[0].Text != "before" {
+		t.Fatalf("halt did not stop the flow: %v", outs)
+	}
+}
+
+func TestBuiltinIdentifiers(t *testing.T) {
+	src := `
+func main() {
+    print(nproc);
+    print(ngroups);
+    print(fid);
+    print(thickness);
+    #4;
+    thick int t = tid;
+    print(rmax(t));
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	got := outputs(m)
+	want := []int64{16, 4, 0, 1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("builtins %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegisterExhaustionReported(t *testing.T) {
+	// A deep call chain overflows the statically allocated scalar file.
+	var b strings.Builder
+	b.WriteString("func main() { print(f0(1)); }\n")
+	for i := 0; i < 8; i++ {
+		if i < 7 {
+			b.WriteString(strings.ReplaceAll(strings.ReplaceAll(
+				"func fN(a) { int x = a + N; int y = x * 2; return fM(y) + x; }\n",
+				"N", itoa(i)), "M", itoa(i+1)))
+		} else {
+			b.WriteString("func f7(a) { return a; }\n")
+		}
+	}
+	_, err := CompileSource("deep", b.String())
+	if err == nil || !strings.Contains(err.Error(), "register file exhausted") {
+		t.Fatalf("expected register exhaustion, got %v", err)
+	}
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }
+
+func TestCompileErrorsSurface(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"parse", "func main( {", "expected"},
+		{"sema", "func main() { x = 1; }", "undeclared"},
+		{"recursion", "func main() { f(); }\nfunc f() { f(); }", "recursive"},
+		{"thick-cond", "func main() { #4; thick int v = tid; if (v) { } }", "scalar"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := CompileSource(c.name, c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("want error containing %q, got %v", c.want, err)
+			}
+		})
+	}
+}
+
+func TestCompiledRunsOnAllLockstepVariants(t *testing.T) {
+	src := `
+shared int c[8] @ 300;
+
+func main() {
+    #8;
+    c[tid] = tid * tid;
+}
+`
+	for _, kind := range []variant.Kind{variant.SingleInstruction, variant.Balanced, variant.MultiInstruction} {
+		t.Run(kind.String(), func(t *testing.T) {
+			m := run(t, kind, src)
+			for i := int64(0); i < 8; i++ {
+				if got := m.Shared().Peek(300 + i); got != i*i {
+					t.Fatalf("c[%d] = %d", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestAutoAddressAllocation(t *testing.T) {
+	src := `
+shared int a[16];
+shared int b;
+
+func main() {
+    a[3] = 7;
+    b = a[3] + 1;
+    print(b);
+}
+`
+	c, err := CompileSource("auto", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Info.SharedTop <= 8192 {
+		t.Fatalf("auto allocation did not advance: top %d", c.Info.SharedTop)
+	}
+	m, err := tryRun(t, variant.SingleInstruction, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outputs(m); got[0] != 8 {
+		t.Fatalf("auto-addressed vars broken: %v", got)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	src := `
+func main() {
+    int sum = 0;
+    for (int i = 0; i < 100; i += 1) {
+        if (i == 10) {
+            break;
+        }
+        if (i % 2 == 1) {
+            continue;
+        }
+        sum += i;
+    }
+    print(sum);
+    int n = 0;
+    while (1) {
+        n += 1;
+        if (n >= 7) {
+            break;
+        }
+    }
+    print(n);
+    int k = 0;
+    int odd = 0;
+    while (k < 10) {
+        k += 1;
+        if (k % 2 == 0) {
+            continue;
+        }
+        odd += 1;
+    }
+    print(odd);
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	got := outputs(m)
+	want := []int64{20, 7, 5} // 0+2+4+6+8 = 20
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("outputs %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNestedLoopBreak(t *testing.T) {
+	src := `
+func main() {
+    int count = 0;
+    for (int i = 0; i < 5; i += 1) {
+        for (int j = 0; j < 5; j += 1) {
+            if (j == 2) {
+                break;
+            }
+            count += 1;
+        }
+    }
+    print(count);
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	if got := outputs(m); got[0] != 10 {
+		t.Fatalf("nested break: %v, want 10", got)
+	}
+}
+
+func TestBreakOutsideLoopRejected(t *testing.T) {
+	for _, src := range []string{
+		"func main() { break; }",
+		"func main() { continue; }",
+		"func main() { for (;;) { parallel { #2: break; } } }",
+	} {
+		if _, err := CompileSource("bad", src); err == nil || !strings.Contains(err.Error(), "outside a loop") {
+			t.Fatalf("%q: want loop error, got %v", src, err)
+		}
+	}
+}
+
+func TestSwitchStatement(t *testing.T) {
+	src := `
+func main() {
+    for (int i = 0; i < 6; i += 1) {
+        switch (i) {
+        case 0:
+            print(100);
+        case 1, 2:
+            print(200);
+        case 5 - 2:
+            print(300);
+        default:
+            print(999);
+        }
+    }
+    // Switch with no default falls through to nothing.
+    switch (42) {
+    case 1:
+        print(1);
+    }
+    prints("end");
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	got := outputs(m)
+	want := []int64{100, 200, 200, 300, 999, 999}
+	if len(got) != len(want) {
+		t.Fatalf("outputs %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("outputs %v, want %v", got, want)
+		}
+	}
+	outs := m.Outputs()
+	if outs[len(outs)-1].Text != "end" {
+		t.Fatal("missing end marker")
+	}
+}
+
+func TestSwitchErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"func main() { switch (1) { } }", "at least one case"},
+		{"func main() { switch (1) { default: default: } }", "duplicate default"},
+		{"func main() { #4; thick int v = tid; switch (v) { case 1: halt; } }", "must be scalar"},
+		{"func main() { #4; thick int v = tid; switch (1) { case v: halt; } }", "must be scalar"},
+		{"func main() { switch (1) { nope: } }", "expected case or default"},
+	}
+	for _, c := range cases {
+		if _, err := CompileSource("sw", c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%q: want %q, got %v", c.src, c.want, err)
+		}
+	}
+}
+
+func TestSwitchVariablesScoped(t *testing.T) {
+	src := `
+func main() {
+    switch (2) {
+    case 1:
+        int x = 1;
+        print(x);
+    case 2:
+        int x = 2;
+        print(x);
+    }
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	if got := outputs(m); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("switch scoping: %v", got)
+	}
+}
+
+func TestAssertIntrinsic(t *testing.T) {
+	src := `
+func main() {
+    assert(1 + 1 == 2);
+    prints("passed");
+    assert(2 > 5);
+    prints("unreachable");
+}
+`
+	m := run(t, variant.SingleInstruction, src)
+	outs := m.Outputs()
+	if len(outs) != 2 || outs[0].Text != "passed" || !strings.Contains(outs[1].Text, "assertion failed at") {
+		t.Fatalf("assert outputs: %v", outs)
+	}
+}
+
+func TestAssertThickRejected(t *testing.T) {
+	_, err := CompileSource("a", "func main() { #4; thick int v = tid; assert(v); }")
+	if err == nil || !strings.Contains(err.Error(), "must be scalar") {
+		t.Fatalf("thick assert: %v", err)
+	}
+}

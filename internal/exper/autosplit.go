@@ -1,0 +1,79 @@
+package exper
+
+import (
+	"tcfpram/internal/isa"
+	"tcfpram/internal/machine"
+	"tcfpram/internal/variant"
+)
+
+// AutoSplitRow measures the Section 3.3 OS-splitting of overly thick flows
+// at one threshold setting.
+type AutoSplitRow struct {
+	Threshold   int // 0 = splitting disabled
+	Cycles      int64
+	Utilization float64
+	Fragments   int64 // flows created by splitting
+	GroupsBusy  int   // groups that executed a significant share
+}
+
+// autoSplitKernel is a 256-lane elementwise kernel (8 thick instructions).
+func autoSplitKernel() *isa.Program {
+	b := isa.NewBuilder("autosplit-kernel")
+	b.Label("main")
+	b.SetThickImm(256)
+	b.Id(isa.TID, isa.V(0))
+	for i := 0; i < 6; i++ {
+		b.ALUI(isa.MUL, isa.V(1), isa.V(0), 3)
+		b.ALU(isa.ADD, isa.V(0), isa.V(0), isa.V(1))
+	}
+	b.St(isa.V(0), 2000, isa.V(0))
+	b.Halt()
+	return b.MustBuild()
+}
+
+// AutoSplit sweeps the splitting threshold over the 256-lane kernel.
+func AutoSplit() ([]AutoSplitRow, error) {
+	prog := autoSplitKernel()
+	var rows []AutoSplitRow
+	for _, threshold := range []int{0, 128, 64, 32} {
+		cfg := machine.Default(variant.SingleInstruction)
+		cfg.AutoSplitThreshold = threshold
+		m, err := machine.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.LoadProgram(prog); err != nil {
+			return nil, err
+		}
+		if _, err := m.Run(); err != nil {
+			return nil, err
+		}
+		s := m.Stats()
+		row := AutoSplitRow{
+			Threshold:   threshold,
+			Cycles:      s.Cycles,
+			Utilization: s.Utilization(),
+			Fragments:   s.FlowsCreated - 1,
+		}
+		for _, ops := range s.PerGroupOps {
+			if ops > 50 {
+				row.GroupsBusy++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatAutoSplit renders the threshold sweep.
+func FormatAutoSplit(rows []AutoSplitRow) string {
+	t := &table{header: []string{"threshold", "cycles", "utilization", "fragments", "groups busy"}}
+	for _, r := range rows {
+		th := "off"
+		if r.Threshold > 0 {
+			th = itoa(int64(r.Threshold))
+		}
+		t.add(th, itoa(r.Cycles), f2(r.Utilization), itoa(r.Fragments), itoa(int64(r.GroupsBusy)))
+	}
+	return t.String()
+}

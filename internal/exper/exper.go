@@ -1,0 +1,101 @@
+// Package exper implements the reproduction experiments: one function per
+// paper artifact (Table 1, Figures 1-13, the Section 4 programming
+// comparisons), each returning structured results that the cmd tools print
+// and the benchmarks/tests assert shapes on. EXPERIMENTS.md records the
+// outcomes.
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"tcfpram/internal/isa"
+	"tcfpram/internal/machine"
+	"tcfpram/internal/variant"
+	"tcfpram/internal/workload"
+)
+
+// Machine parameters shared by the experiments (Table 1's P, Tp, R, b).
+const (
+	P  = 4
+	Tp = 4
+	R  = isa.NumSRegs
+	B  = 4
+)
+
+// runWorkload executes w on a fresh machine of the given variant.
+func runWorkload(kind variant.Kind, w workload.Workload, tweak func(*machine.Config)) (*machine.Machine, error) {
+	cfg := machine.Default(kind)
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.LoadProgram(w.Program); err != nil {
+		return nil, err
+	}
+	if _, err := m.Run(); err != nil {
+		return m, fmt.Errorf("%s on %v: %w", w.Name, kind, err)
+	}
+	if err := w.Check(m); err != nil {
+		return m, fmt.Errorf("%s on %v: %w", w.Name, kind, err)
+	}
+	return m, nil
+}
+
+// MustRun is runWorkload for fixed experiments that cannot fail.
+func MustRun(kind variant.Kind, w workload.Workload, tweak func(*machine.Config)) *machine.Machine {
+	m, err := runWorkload(kind, w, tweak)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// table is a tiny fixed-width text table builder for experiment reports.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func itoa(v int64) string { return fmt.Sprintf("%d", v) }
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,80 @@
+package exper
+
+import (
+	"tcfpram/internal/isa"
+	"tcfpram/internal/machine"
+	"tcfpram/internal/topology"
+	"tcfpram/internal/variant"
+)
+
+// ScalingRow measures one machine size on the fixed workload.
+type ScalingRow struct {
+	Groups      int
+	Cycles      int64
+	Speedup     float64 // vs 1 group
+	Utilization float64
+}
+
+// scalingKernel builds a fixed-size, embarrassingly parallel thick workload:
+// `total` lanes of elementwise work, split into one flow per group via the
+// parallel statement so every machine size can spread it.
+func scalingKernel(total, groups, instrs int) *isa.Program {
+	b := isa.NewBuilder("scaling")
+	b.Label("main")
+	per := total / groups
+	arms := make([]isa.Arm, groups)
+	for i := range arms {
+		arms[i] = isa.ArmImm(int64(per), "work")
+	}
+	b.Split(arms...)
+	b.Halt()
+	b.Label("work")
+	b.Id(isa.TID, isa.V(0))
+	for i := 0; i < instrs; i++ {
+		b.ALUI(isa.MUL, isa.V(1), isa.V(0), 3)
+		b.ALU(isa.ADD, isa.V(0), isa.V(0), isa.V(1))
+	}
+	b.Op(isa.JOIN)
+	return b.MustBuild()
+}
+
+// Scaling sweeps the group count for a fixed 256-lane workload on the
+// single-instruction variant (ring topology grows with the machine).
+func Scaling(total, instrs int) ([]ScalingRow, error) {
+	var rows []ScalingRow
+	var base int64
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		cfg := machine.Default(variant.SingleInstruction)
+		cfg.Groups = p
+		cfg.Topology = topology.NewRing(p)
+		m, err := machine.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.LoadProgram(scalingKernel(total, p, instrs)); err != nil {
+			return nil, err
+		}
+		if _, err := m.Run(); err != nil {
+			return nil, err
+		}
+		c := m.Stats().Cycles
+		if p == 1 {
+			base = c
+		}
+		rows = append(rows, ScalingRow{
+			Groups: p, Cycles: c,
+			Speedup:     float64(base) / float64(c),
+			Utilization: m.Stats().Utilization(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatScaling renders the sweep.
+func FormatScaling(rows []ScalingRow) string {
+	t := &table{header: []string{"groups", "cycles", "speedup", "utilization"}}
+	for _, r := range rows {
+		t.add(itoa(int64(r.Groups)), itoa(r.Cycles), f2(r.Speedup), f2(r.Utilization))
+	}
+	return t.String()
+}

@@ -1,0 +1,233 @@
+package exper
+
+import (
+	"tcfpram/internal/codegen"
+	"tcfpram/internal/isa"
+	"tcfpram/internal/machine"
+	"tcfpram/internal/variant"
+	"tcfpram/internal/workload"
+)
+
+// compileSource routes tcf-e compilation for the experiments.
+func compileSource(name, src string) (*isa.Program, error) {
+	c, err := codegen.CompileSource(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return c.Program, nil
+}
+
+// S4Row compares one Section 4 construct across programming styles.
+type S4Row struct {
+	Experiment string
+	Style      string
+	Variant    variant.Kind
+	Size       int
+	Steps      int64
+	Cycles     int64
+	Instrs     int64 // fetched instruction count (code-size/issue proxy)
+	Ops        int64
+}
+
+func s4row(exp string, style workload.Style, kind variant.Kind, size int, m *machine.Machine) S4Row {
+	return S4Row{
+		Experiment: exp, Style: style.String(), Variant: kind, Size: size,
+		Steps: m.Stats().Steps, Cycles: m.Stats().Cycles,
+		Instrs: m.Stats().InstrFetches, Ops: m.Stats().Ops + m.Stats().ScalarOps,
+	}
+}
+
+// S4a compares the vector-add kernel: the thickness statement versus the
+// fixed-thread loop (more data elements than threads, Section 4's first
+// example).
+func S4a(sizes []int) ([]S4Row, error) {
+	var rows []S4Row
+	for _, size := range sizes {
+		m, err := runWorkload(variant.SingleInstruction, workload.VectorAdd(workload.StyleTCF, size, 0, 0), nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, s4row("S4a-vecadd", workload.StyleTCF, variant.SingleInstruction, size, m))
+		m, err = runWorkload(variant.SingleOperation, workload.VectorAdd(workload.StyleThread, size, P*Tp, 0), nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, s4row("S4a-vecadd", workload.StyleThread, variant.SingleOperation, size, m))
+	}
+	return rows, nil
+}
+
+// S4b is the fewer-data-than-threads case: the guard `if (tid < size)`
+// versus just setting the thickness.
+func S4b(size int) ([]S4Row, error) {
+	var rows []S4Row
+	m, err := runWorkload(variant.SingleInstruction, workload.VectorAdd(workload.StyleTCF, size, 0, 0), nil)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, s4row("S4b-small", workload.StyleTCF, variant.SingleInstruction, size, m))
+	m, err = runWorkload(variant.SingleOperation, workload.VectorAdd(workload.StyleThread, size, P*Tp, 0), nil)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, s4row("S4b-small", workload.StyleThread, variant.SingleOperation, size, m))
+	return rows, nil
+}
+
+// S4c is the low-TLP case: PRAM-mode thickness-1 execution versus declaring
+// NUMA execution (#1/T).
+func S4c(chain int) ([]S4Row, error) {
+	var rows []S4Row
+	m, err := runWorkload(variant.SingleInstruction, workload.LowTLP(chain, 0), nil)
+	if err != nil {
+		return nil, err
+	}
+	r := s4row("S4c-lowtlp", workload.StyleTCF, variant.SingleInstruction, chain, m)
+	r.Style = "pram-thick1"
+	rows = append(rows, r)
+	m, err = runWorkload(variant.SingleInstruction, workload.LowTLP(chain, 8), nil)
+	if err != nil {
+		return nil, err
+	}
+	r = s4row("S4c-lowtlp", workload.StyleTCF, variant.SingleInstruction, chain, m)
+	r.Style = "numa-1/8"
+	rows = append(rows, r)
+	return rows, nil
+}
+
+// S4d is the two-way conditional: two parallel TCFs versus the thread `if`
+// versus predicated SIMD execution.
+func S4d(size int) ([]S4Row, error) {
+	var rows []S4Row
+	m, err := runWorkload(variant.SingleInstruction, workload.ConditionalHalves(workload.StyleTCF, size), nil)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, s4row("S4d-cond", workload.StyleTCF, variant.SingleInstruction, size, m))
+	m, err = runWorkload(variant.SingleOperation, workload.ConditionalHalves(workload.StyleThread, size), nil)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, s4row("S4d-cond", workload.StyleThread, variant.SingleOperation, size, m))
+	m, err = runWorkload(variant.FixedThickness, workload.ConditionalHalves(workload.StyleSIMD, size),
+		func(c *machine.Config) {
+			c.ProcsPerGroup = size
+			c.VectorWidth = size
+		})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, s4row("S4d-cond", workload.StyleSIMD, variant.FixedThickness, size, m))
+	return rows, nil
+}
+
+// S4e is the multiprefix: the looping fixed-thread form versus the single
+// thick prefix(...) call.
+func S4e(size int) ([]S4Row, error) {
+	var rows []S4Row
+	m, err := runWorkload(variant.SingleInstruction, workload.PrefixSum(workload.StyleTCF, size, 0), nil)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, s4row("S4e-prefix", workload.StyleTCF, variant.SingleInstruction, size, m))
+	m, err = runWorkload(variant.SingleOperation, workload.PrefixSum(workload.StyleThread, size, P*Tp), nil)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, s4row("S4e-prefix", workload.StyleThread, variant.SingleOperation, size, m))
+	return rows, nil
+}
+
+// S4f is the dependent loop (log-step scan): lockstep TCF execution versus
+// the fork/join rounds the multi-instruction (XMT) model needs.
+func S4f(size int) ([]S4Row, error) {
+	var rows []S4Row
+	m, err := runWorkload(variant.SingleInstruction, workload.DependentLoop(workload.StyleTCF, size), nil)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, s4row("S4f-deploop", workload.StyleTCF, variant.SingleInstruction, size, m))
+	// Fork/join rounds on the same lockstep machine isolate the split/join
+	// overhead the paper attributes to the XMT convention...
+	m, err = runWorkload(variant.SingleInstruction, workload.DependentLoop(workload.StyleFork, size), nil)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, s4row("S4f-deploop", workload.StyleFork, variant.SingleInstruction, size, m))
+	// ...and the genuine multi-instruction engine shows the per-thread
+	// instruction delivery cost (fetches) of XMT.
+	m, err = runWorkload(variant.MultiInstruction, workload.DependentLoop(workload.StyleFork, size), nil)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, s4row("S4f-deploop", workload.StyleFork, variant.MultiInstruction, size, m))
+	m, err = runWorkload(variant.SingleOperation, workload.DependentLoop(workload.StyleThread, size), nil)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, s4row("S4f-deploop", workload.StyleThread, variant.SingleOperation, size, m))
+	return rows, nil
+}
+
+// S4gResult compares task switching: k tasks rotated through the TCF slots
+// (free) versus the thread-machine context-switch cost model.
+type S4gResult struct {
+	Tasks               int
+	TCFSwitches         int64
+	TCFSwitchCycles     int64
+	ThreadSwitchCycles  int64 // analytic: switches * Tp
+	SingleThreadedModel int64 // switches * 1
+}
+
+// S4g measures multitasking cost.
+func S4g(tasks int) (*S4gResult, error) {
+	m, err := runWorkload(variant.SingleInstruction, workload.Multitask(tasks, 4), nil)
+	if err != nil {
+		return nil, err
+	}
+	s := m.Stats()
+	return &S4gResult{
+		Tasks:               tasks,
+		TCFSwitches:         s.TaskSwitches,
+		TCFSwitchCycles:     s.TaskSwitchCycles,
+		ThreadSwitchCycles:  s.TaskSwitches * int64(Tp),
+		SingleThreadedModel: s.TaskSwitches,
+	}, nil
+}
+
+// S4hResult compares horizontal versus vertical allocation of an
+// application's thickness.
+type S4hResult struct {
+	TApp             int
+	VerticalCycles   int64
+	HorizontalCycles int64
+	Speedup          float64
+}
+
+// S4h measures the allocation experiment.
+func S4h(tApp, iters int) (*S4hResult, error) {
+	v, err := runWorkload(variant.SingleInstruction, workload.Allocation(tApp, 1, iters), nil)
+	if err != nil {
+		return nil, err
+	}
+	h, err := runWorkload(variant.SingleInstruction, workload.Allocation(tApp, P, iters), nil)
+	if err != nil {
+		return nil, err
+	}
+	return &S4hResult{
+		TApp:             tApp,
+		VerticalCycles:   v.Stats().Cycles,
+		HorizontalCycles: h.Stats().Cycles,
+		Speedup:          float64(v.Stats().Cycles) / float64(h.Stats().Cycles),
+	}, nil
+}
+
+// FormatS4 renders Section 4 comparison rows.
+func FormatS4(rows []S4Row) string {
+	t := &table{header: []string{"experiment", "style", "variant", "size", "steps", "cycles", "fetches", "ops"}}
+	for _, r := range rows {
+		t.add(r.Experiment, r.Style, r.Variant.String(), itoa(int64(r.Size)),
+			itoa(r.Steps), itoa(r.Cycles), itoa(r.Instrs), itoa(r.Ops))
+	}
+	return t.String()
+}

@@ -1,0 +1,61 @@
+package exper
+
+import "tcfpram/internal/regcache"
+
+// StorageRow compares the three Section 3.3 options for keeping thread-wise
+// intermediate results at one thickness.
+type StorageRow struct {
+	Thickness int
+	// Average extra cycles per thread-wise register-line access.
+	MemoryToMemory float64
+	CachedRegFile  float64
+	LocalMemory    float64
+	// CacheHitRate of the cached-register-file run.
+	CacheHitRate float64
+}
+
+// Storage sweeps thickness for a kernel with `regsLive` live thread-wise
+// registers re-touched over `instrs` instructions.
+func Storage(regsLive, instrs int) ([]StorageRow, error) {
+	cfg := regcache.DefaultConfig()
+	const memLatency = 12
+	var rows []StorageRow
+	for _, u := range []int{8, 64, 512, 4096} {
+		row := StorageRow{Thickness: u}
+		var err error
+		if row.MemoryToMemory, err = regcache.CostPerOp(regcache.MemoryToMemory, cfg, u, regsLive, instrs, memLatency); err != nil {
+			return nil, err
+		}
+		if row.CachedRegFile, err = regcache.CostPerOp(regcache.CachedRegisterFile, cfg, u, regsLive, instrs, memLatency); err != nil {
+			return nil, err
+		}
+		if row.LocalMemory, err = regcache.CostPerOp(regcache.LocalMemoryOperands, cfg, u, regsLive, instrs, memLatency); err != nil {
+			return nil, err
+		}
+		// Re-run the cache to report its hit rate.
+		c, err := regcache.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		regs := make([]int, regsLive)
+		for i := range regs {
+			regs[i] = i
+		}
+		for k := 0; k < instrs; k++ {
+			c.AccessInstr(0, u, regs...)
+		}
+		_, _, _, row.CacheHitRate = c.Stats()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatStorage renders the sweep.
+func FormatStorage(rows []StorageRow) string {
+	t := &table{header: []string{"thickness", "mem-to-mem cyc/acc", "cached-regfile", "local-mem", "cache hit rate"}}
+	for _, r := range rows {
+		t.add(itoa(int64(r.Thickness)), f2(r.MemoryToMemory), f2(r.CachedRegFile),
+			f2(r.LocalMemory), f2(r.CacheHitRate))
+	}
+	return t.String()
+}

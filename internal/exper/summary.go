@@ -1,0 +1,96 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"tcfpram/internal/machine"
+	"tcfpram/internal/variant"
+	"tcfpram/internal/workload"
+)
+
+// SummaryCell is one (kernel, variant) measurement of the headline
+// comparison matrix.
+type SummaryCell struct {
+	Kernel  string
+	Variant variant.Kind
+	Style   workload.Style
+	Cycles  int64
+	Steps   int64
+	Fetches int64
+	// Supported is false when the kernel is not expressible on the
+	// variant (e.g. control parallelism on the vector machine).
+	Supported bool
+}
+
+// Summary runs the four headline kernels on every variant that can express
+// them (in its natural programming style) and returns the matrix.
+func Summary(size int) ([]SummaryCell, error) {
+	type job struct {
+		kernel string
+		kind   variant.Kind
+		w      workload.Workload
+		tweak  func(*machine.Config)
+	}
+	simdCfg := func(c *machine.Config) {
+		c.ProcsPerGroup = size
+		c.VectorWidth = size
+	}
+	nthreads := P * Tp
+	jobs := []job{
+		{"vecadd", variant.SingleInstruction, workload.VectorAdd(workload.StyleTCF, size, 0, 0), nil},
+		{"vecadd", variant.Balanced, workload.VectorAdd(workload.StyleTCF, size, 0, 0), nil},
+		{"vecadd", variant.MultiInstruction, workload.VectorAdd(workload.StyleFork, size, 0, 0), nil},
+		{"vecadd", variant.SingleOperation, workload.VectorAdd(workload.StyleThread, size, nthreads, 0), nil},
+		{"vecadd", variant.ConfigurableSingleOperation, workload.VectorAdd(workload.StyleThread, size, nthreads, 0), nil},
+		{"vecadd", variant.FixedThickness, workload.VectorAdd(workload.StyleSIMD, size, 0, size), simdCfg},
+
+		{"conditional", variant.SingleInstruction, workload.ConditionalHalves(workload.StyleTCF, size), nil},
+		{"conditional", variant.Balanced, workload.ConditionalHalves(workload.StyleTCF, size), nil},
+		{"conditional", variant.MultiInstruction, workload.ConditionalHalves(workload.StyleFork, size), nil},
+		{"conditional", variant.SingleOperation, workload.ConditionalHalves(workload.StyleThread, size), nil},
+		{"conditional", variant.ConfigurableSingleOperation, workload.ConditionalHalves(workload.StyleThread, size), nil},
+		{"conditional", variant.FixedThickness, workload.ConditionalHalves(workload.StyleSIMD, size), simdCfg},
+
+		{"prefix", variant.SingleInstruction, workload.PrefixSum(workload.StyleTCF, size, 0), nil},
+		{"prefix", variant.Balanced, workload.PrefixSum(workload.StyleTCF, size, 0), nil},
+		{"prefix", variant.SingleOperation, workload.PrefixSum(workload.StyleThread, size, nthreads), nil},
+		{"prefix", variant.ConfigurableSingleOperation, workload.PrefixSum(workload.StyleThread, size, nthreads), nil},
+
+		{"deploop", variant.SingleInstruction, workload.DependentLoop(workload.StyleTCF, size), nil},
+		{"deploop", variant.Balanced, workload.DependentLoop(workload.StyleTCF, size), nil},
+		{"deploop", variant.MultiInstruction, workload.DependentLoop(workload.StyleFork, size), nil},
+		{"deploop", variant.SingleOperation, workload.DependentLoop(workload.StyleThread, size), nil},
+	}
+	var cells []SummaryCell
+	for _, j := range jobs {
+		m, err := runWorkload(j.kind, j.w, j.tweak)
+		if err != nil {
+			return nil, fmt.Errorf("summary %s on %v: %w", j.kernel, j.kind, err)
+		}
+		s := m.Stats()
+		cells = append(cells, SummaryCell{
+			Kernel: j.kernel, Variant: j.kind, Style: styleOf(j.w.Name),
+			Cycles: s.Cycles, Steps: s.Steps, Fetches: s.InstrFetches, Supported: true,
+		})
+	}
+	return cells, nil
+}
+
+func styleOf(name string) workload.Style {
+	for _, s := range []workload.Style{workload.StyleTCF, workload.StyleThread, workload.StyleSIMD, workload.StyleFork} {
+		if strings.Contains(name, "-"+s.String()+"-") {
+			return s
+		}
+	}
+	return workload.StyleTCF
+}
+
+// FormatSummary renders the matrix grouped by kernel.
+func FormatSummary(cells []SummaryCell) string {
+	t := &table{header: []string{"kernel", "variant", "style", "cycles", "steps", "fetches"}}
+	for _, c := range cells {
+		t.add(c.Kernel, c.Variant.String(), c.Style.String(), itoa(c.Cycles), itoa(c.Steps), itoa(c.Fetches))
+	}
+	return t.String()
+}

@@ -1,0 +1,403 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses TCF assembler source into a Program.
+//
+// Syntax, one statement per line:
+//
+//	; comment           (also "//")
+//	.data ADDR: w0 w1 …  preload shared memory
+//	label:               (may share a line with an instruction)
+//	OP operand, operand, …
+//
+// Operands: registers (V0..V31, S0..S15), integer immediates, memory
+// operands (Rx, Rx+imm, Rx-imm, or a bare absolute address), branch labels,
+// quoted strings (PRINTS), and SPLIT arms of the form "thick -> label".
+func Assemble(name, src string) (*Program, error) {
+	a := &assembler{b: NewBuilder(name)}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		if err := a.line(raw); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, lineNo+1, err)
+		}
+	}
+	p, err := a.b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error; for fixed test programs.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	b *Builder
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '"':
+			inStr = !inStr
+		case inStr:
+		case s[i] == ';':
+			return s[:i]
+		case s[i] == '/' && i+1 < len(s) && s[i+1] == '/':
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func (a *assembler) line(raw string) error {
+	s := strings.TrimSpace(stripComment(raw))
+	if s == "" {
+		return nil
+	}
+	if strings.HasPrefix(s, ".data") {
+		return a.dataDirective(strings.TrimSpace(s[len(".data"):]))
+	}
+	// Leading labels (there may be several, and an instruction may follow).
+	for {
+		idx := strings.Index(s, ":")
+		if idx < 0 {
+			break
+		}
+		head := strings.TrimSpace(s[:idx])
+		if !isIdent(head) {
+			break
+		}
+		a.b.Label(head)
+		s = strings.TrimSpace(s[idx+1:])
+		if s == "" {
+			return nil
+		}
+	}
+	return a.instruction(s)
+}
+
+func (a *assembler) dataDirective(s string) error {
+	idx := strings.Index(s, ":")
+	if idx < 0 {
+		return fmt.Errorf("malformed .data (missing ':')")
+	}
+	addr, err := strconv.ParseInt(strings.TrimSpace(s[:idx]), 0, 64)
+	if err != nil {
+		return fmt.Errorf("malformed .data address: %w", err)
+	}
+	var words []int64
+	for _, f := range strings.Fields(s[idx+1:]) {
+		w, err := strconv.ParseInt(f, 0, 64)
+		if err != nil {
+			return fmt.Errorf("malformed .data word %q: %w", f, err)
+		}
+		words = append(words, w)
+	}
+	a.b.Data(addr, words...)
+	return nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		digit := r >= '0' && r <= '9'
+		if !alpha && !(digit && i > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// splitOperands splits on commas that are outside quoted strings.
+func splitOperands(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			inStr = !inStr
+			cur.WriteByte(c)
+		case c == ',' && !inStr:
+			out = append(out, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if t := strings.TrimSpace(cur.String()); t != "" || len(out) > 0 {
+		out = append(out, t)
+	}
+	return out
+}
+
+func (a *assembler) instruction(s string) error {
+	mnem := s
+	rest := ""
+	if idx := strings.IndexAny(s, " \t"); idx >= 0 {
+		mnem, rest = s[:idx], strings.TrimSpace(s[idx+1:])
+	}
+	op, ok := OpByName(strings.ToUpper(mnem))
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	ops := splitOperands(rest)
+	info := op.Info()
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s expects %d operand(s), got %d", op, n, len(ops))
+		}
+		return nil
+	}
+	reg := func(s string) (Reg, error) { return ParseReg(s) }
+	imm := func(s string) (int64, error) { return strconv.ParseInt(s, 0, 64) }
+
+	switch info.Args {
+	case ArgsNone:
+		if err := need(0); err != nil {
+			return err
+		}
+		a.b.Op(op)
+	case ArgsDImm:
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := imm(ops[1])
+		if err != nil {
+			return fmt.Errorf("%s immediate: %w", op, err)
+		}
+		a.b.Ldi(d, v)
+	case ArgsDA:
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		src, err := reg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(Instr{Op: op, Rd: d, Ra: src})
+	case ArgsD:
+		if err := need(1); err != nil {
+			return err
+		}
+		d, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		a.b.Id(op, d)
+	case ArgsDAB:
+		if err := need(3); err != nil {
+			return err
+		}
+		d, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		ra, err := reg(ops[1])
+		if err != nil {
+			return err
+		}
+		if rb, err2 := reg(ops[2]); err2 == nil {
+			a.b.ALU(op, d, ra, rb)
+		} else if v, err3 := imm(ops[2]); err3 == nil {
+			a.b.ALUI(op, d, ra, v)
+		} else {
+			return fmt.Errorf("%s second source %q is neither register nor immediate", op, ops[2])
+		}
+	case ArgsDABC:
+		if err := need(4); err != nil {
+			return err
+		}
+		var rs [4]Reg
+		for i := range rs {
+			r, err := reg(ops[i])
+			if err != nil {
+				return err
+			}
+			rs[i] = r
+		}
+		a.b.Emit(Instr{Op: op, Rd: rs[0], Ra: rs[1], Rb: rs[2], Rc: rs[3]})
+	case ArgsDMem:
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		base, disp, err := parseMemOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(Instr{Op: op, Rd: d, Ra: base, Imm: disp})
+	case ArgsMemB:
+		if err := need(2); err != nil {
+			return err
+		}
+		base, disp, err := parseMemOperand(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := reg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(Instr{Op: op, Ra: base, Imm: disp, Rb: v})
+	case ArgsDMemB:
+		if err := need(3); err != nil {
+			return err
+		}
+		d, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		base, disp, err := parseMemOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		v, err := reg(ops[2])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(Instr{Op: op, Rd: d, Ra: base, Imm: disp, Rb: v})
+	case ArgsSV:
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := reg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.b.Reduce(op, d, v)
+	case ArgsCondTgt:
+		if err := need(2); err != nil {
+			return err
+		}
+		c, err := reg(ops[0])
+		if err != nil {
+			return err
+		}
+		if !isIdent(ops[1]) {
+			return fmt.Errorf("%s target %q is not a label", op, ops[1])
+		}
+		a.b.Branch(op, c, ops[1])
+	case ArgsTgt:
+		if err := need(1); err != nil {
+			return err
+		}
+		if !isIdent(ops[0]) {
+			return fmt.Errorf("%s target %q is not a label", op, ops[0])
+		}
+		if op == CALL {
+			a.b.Call(ops[0])
+		} else {
+			a.b.Jmp(ops[0])
+		}
+	case ArgsSrc:
+		if err := need(1); err != nil {
+			return err
+		}
+		if r, err := reg(ops[0]); err == nil {
+			a.b.Emit(Instr{Op: op, Ra: r})
+		} else if v, err2 := imm(ops[0]); err2 == nil {
+			a.b.Emit(Instr{Op: op, Imm: v, HasImm: true})
+		} else {
+			return fmt.Errorf("%s source %q is neither register nor immediate", op, ops[0])
+		}
+	case ArgsStr:
+		if err := need(1); err != nil {
+			return err
+		}
+		str, err := strconv.Unquote(ops[0])
+		if err != nil {
+			return fmt.Errorf("%s wants a quoted string: %w", op, err)
+		}
+		a.b.Prints(str)
+	case ArgsSplit:
+		if len(ops) == 0 {
+			return fmt.Errorf("SPLIT needs at least one arm")
+		}
+		var arms []Arm
+		for _, o := range ops {
+			parts := strings.SplitN(o, "->", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("malformed SPLIT arm %q (want 'thickness -> label')", o)
+			}
+			th := strings.TrimSpace(parts[0])
+			lbl := strings.TrimSpace(parts[1])
+			if !isIdent(lbl) {
+				return fmt.Errorf("SPLIT arm target %q is not a label", lbl)
+			}
+			if r, err := reg(th); err == nil {
+				arms = append(arms, ArmReg(r, lbl))
+			} else if v, err2 := imm(th); err2 == nil {
+				arms = append(arms, ArmImm(v, lbl))
+			} else {
+				return fmt.Errorf("SPLIT arm thickness %q is neither register nor immediate", th)
+			}
+		}
+		a.b.Split(arms...)
+	default:
+		return fmt.Errorf("unhandled operand kind for %s", op)
+	}
+	return nil
+}
+
+// parseMemOperand parses "Rx", "Rx+imm", "Rx-imm" or a bare absolute
+// address.
+func parseMemOperand(s string) (base Reg, disp int64, err error) {
+	s = strings.TrimSpace(s)
+	if v, e := strconv.ParseInt(s, 0, 64); e == nil {
+		return RegNone, v, nil
+	}
+	split := -1
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			split = i
+			break
+		}
+	}
+	regPart, dispPart := s, ""
+	if split >= 0 {
+		regPart, dispPart = s[:split], s[split:]
+	}
+	base, err = ParseReg(strings.TrimSpace(regPart))
+	if err != nil {
+		return RegNone, 0, fmt.Errorf("bad memory operand %q: %w", s, err)
+	}
+	if dispPart != "" {
+		disp, err = strconv.ParseInt(strings.ReplaceAll(dispPart, " ", ""), 0, 64)
+		if err != nil {
+			return RegNone, 0, fmt.Errorf("bad displacement in %q: %w", s, err)
+		}
+	}
+	return base, disp, nil
+}

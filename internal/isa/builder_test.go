@@ -1,0 +1,121 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder("t")
+	if b.PC() != 0 {
+		t.Fatal("fresh PC")
+	}
+	b.Label("main")
+	b.Ldi(S(0), 5)
+	if b.PC() != 1 {
+		t.Fatal("PC after one emit")
+	}
+	b.ALU(ADD, V(1), V(2), V(3))
+	b.ALUI(SUB, S(1), S(0), 2)
+	b.Mov(V(0), S(0))
+	b.Unary(NEG, V(1), V(1))
+	b.Sel(V(2), V(0), V(1), V(3))
+	b.Id(TID, V(4))
+	b.Ld(V(5), V(4), 100)
+	b.St(V(4), 200, V(5))
+	b.Ldl(V(6), V(4), 0)
+	b.Stl(V(4), 8, V(6))
+	b.Multi(MADD, V(4), 300, V(5))
+	b.Prefix(MPADD, V(7), V(4), 400, V(5))
+	b.Reduce(RADD, S(2), V(7))
+	b.SetThick(S(0))
+	b.SetThickImm(4)
+	b.Numa(S(0))
+	b.NumaImm(2)
+	b.Print(V(7))
+	b.PrintImm(9)
+	b.Prints("x")
+	b.Op(BAR)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 23 {
+		t.Fatalf("len = %d", p.Len())
+	}
+}
+
+func TestBuilderLabelErrors(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("x")
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Fatalf("dup label: %v", err)
+	}
+
+	b = NewBuilder("t")
+	b.Jmp("nowhere")
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Fatalf("undefined: %v", err)
+	}
+
+	b = NewBuilder("t")
+	b.Split(ArmImm(2, "ghost"))
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "undefined SPLIT label") {
+		t.Fatalf("split label: %v", err)
+	}
+}
+
+func TestBuilderKindGuards(t *testing.T) {
+	for _, f := range []func(b *Builder){
+		func(b *Builder) { b.Multi(ADD, V(0), 0, V(1)) },
+		func(b *Builder) { b.Prefix(MADD, V(0), V(1), 0, V(2)) },
+		func(b *Builder) { b.Reduce(MPADD, S(0), V(1)) },
+	} {
+		b := NewBuilder("t")
+		f(b)
+		b.Halt()
+		if _, err := b.Build(); err == nil {
+			t.Fatal("kind-mismatched emit accepted")
+		}
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := NewBuilder("t")
+	b.Jmp("ghost")
+	b.MustBuild()
+}
+
+func TestBuilderCallBranch(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("main")
+	b.Call("fn")
+	b.Branch(BEQZ, S(0), "main")
+	b.Halt()
+	b.Label("fn")
+	b.Op(RET)
+	p := b.MustBuild()
+	if p.Instrs[0].Target != 3 || p.Instrs[1].Target != 0 {
+		t.Fatalf("targets: %+v", p.Instrs[:2])
+	}
+}
+
+func TestProgramEntryWithoutMain(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("start")
+	b.Halt()
+	p := b.MustBuild()
+	if p.Entry() != 0 {
+		t.Fatal("entry should default to 0")
+	}
+}

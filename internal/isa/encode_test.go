@@ -1,0 +1,141 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildRandomProgram creates a program with random instructions plus some
+// control flow and data.
+func buildRandomProgram(rng *rand.Rand) *Program {
+	b := NewBuilder("rand")
+	b.Data(int64(rng.Intn(1000)), int64(rng.Intn(100)), -7, 42)
+	b.Label("main")
+	n := 1 + rng.Intn(25)
+	for i := 0; i < n; i++ {
+		b.Emit(randomInstr(rng))
+	}
+	b.Label("loop")
+	b.Emit(randomInstr(rng))
+	b.Branch(BNEZ, S(0), "loop")
+	b.Split(ArmImm(int64(rng.Intn(10)), "arm"), ArmReg(S(1), "arm"))
+	b.Jmp("end")
+	b.Label("arm")
+	b.Op(JOIN)
+	b.Label("end")
+	b.Prints("done\n\"quoted\"")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func programsEqual(t *testing.T, a, b *Program) {
+	t.Helper()
+	if a.Name != b.Name {
+		t.Fatalf("name %q != %q", a.Name, b.Name)
+	}
+	if len(a.Instrs) != len(b.Instrs) {
+		t.Fatalf("instr count %d != %d", len(a.Instrs), len(b.Instrs))
+	}
+	for i := range a.Instrs {
+		x, y := a.Instrs[i], b.Instrs[i]
+		if x.Op != y.Op || x.Rd != y.Rd || x.Ra != y.Ra || x.Rb != y.Rb || x.Rc != y.Rc ||
+			x.Imm != y.Imm || x.HasImm != y.HasImm || x.Target != y.Target || x.Sym != y.Sym {
+			t.Fatalf("instr %d: %+v != %+v", i, x, y)
+		}
+		if len(x.Arms) != len(y.Arms) {
+			t.Fatalf("instr %d arm count", i)
+		}
+		for j := range x.Arms {
+			if x.Arms[j] != y.Arms[j] {
+				t.Fatalf("instr %d arm %d: %+v != %+v", i, j, x.Arms[j], y.Arms[j])
+			}
+		}
+	}
+	if len(a.Labels) != len(b.Labels) {
+		t.Fatalf("label count")
+	}
+	for name, pc := range a.Labels {
+		if b.Labels[name] != pc {
+			t.Fatalf("label %q: %d != %d", name, pc, b.Labels[name])
+		}
+	}
+	if len(a.Data) != len(b.Data) {
+		t.Fatalf("data count")
+	}
+	for i := range a.Data {
+		if a.Data[i].Addr != b.Data[i].Addr || len(a.Data[i].Words) != len(b.Data[i].Words) {
+			t.Fatalf("data seg %d", i)
+		}
+		for j := range a.Data[i].Words {
+			if a.Data[i].Words[j] != b.Data[i].Words[j] {
+				t.Fatalf("data seg %d word %d", i, j)
+			}
+		}
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary valid programs exactly.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		p := buildRandomProgram(rng)
+		blob := Encode(p)
+		q, err := Decode(blob)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		programsEqual(t, p, q)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("x"),
+		[]byte("NOPE"),
+		[]byte("TCFB\xff"), // bad version
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	p := buildRandomProgram(rand.New(rand.NewSource(5)))
+	blob := Encode(p)
+	for cut := 5; cut < len(blob)-1; cut += 7 {
+		if _, err := Decode(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	p := MustAssemble("t", "main: HALT")
+	blob := append(Encode(p), 0xAB)
+	if _, err := Decode(blob); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestDecodeRejectsInvalidProgram(t *testing.T) {
+	// Hand-corrupt an opcode to an invalid value: Validate must reject.
+	p := MustAssemble("t", "main: NOP\nHALT")
+	p2 := *p
+	p2.Instrs = append([]Instr(nil), p.Instrs...)
+	p2.Instrs[0].Op = Op(250)
+	blob := Encode(&p2)
+	if _, err := Decode(blob); err == nil {
+		t.Fatal("invalid opcode accepted")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	p := buildRandomProgram(rand.New(rand.NewSource(11)))
+	a, b := Encode(p), Encode(p)
+	if string(a) != string(b) {
+		t.Fatal("encoding is not deterministic")
+	}
+}

@@ -1,0 +1,344 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SplitArm describes one arm of a SPLIT (parallel statement): a child flow
+// of the given thickness starting at Target. Thickness comes from a scalar
+// register or an immediate.
+type SplitArm struct {
+	Thick    Reg   // scalar register holding the arm thickness, or RegNone
+	ThickImm int64 // immediate thickness when Thick == RegNone
+	Target   int   // entry PC of the arm (resolved)
+	Sym      string
+}
+
+// Instr is one machine instruction. A single Instr executes across the whole
+// thickness of the flow that runs it (one "TCF instruction" of the paper).
+type Instr struct {
+	Op Op
+
+	Rd Reg // destination
+	Ra Reg // first source / address base / condition
+	Rb Reg // second source
+	Rc Reg // third source (SEL only)
+
+	// Imm is the immediate operand: the second ALU source when HasImm, the
+	// address displacement for memory ops, or the literal for LDI /
+	// SETTHICK / NUMA / PRINT.
+	Imm    int64
+	HasImm bool
+
+	// Target is the resolved instruction index for control transfers.
+	Target int
+
+	// Arms holds the SPLIT arms.
+	Arms []SplitArm
+
+	// Sym carries the label name of Target (for display) or the literal of
+	// PRINTS.
+	Sym string
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instr) String() string {
+	info := in.Op.Info()
+	var b strings.Builder
+	b.WriteString(info.Name)
+	arg := func(s string) {
+		if strings.HasSuffix(b.String(), info.Name) {
+			b.WriteByte(' ')
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(s)
+	}
+	mem := func(base Reg, imm int64) string {
+		if base == RegNone {
+			return strconv.FormatInt(imm, 10)
+		}
+		if imm == 0 {
+			return base.String()
+		}
+		return fmt.Sprintf("%s%+d", base, imm)
+	}
+	tgt := func() string {
+		if in.Sym != "" {
+			return in.Sym
+		}
+		return "@" + strconv.Itoa(in.Target)
+	}
+	src := func() string {
+		if in.HasImm {
+			return strconv.FormatInt(in.Imm, 10)
+		}
+		return in.Ra.String()
+	}
+	switch info.Args {
+	case ArgsNone:
+	case ArgsDImm:
+		arg(in.Rd.String())
+		arg(strconv.FormatInt(in.Imm, 10))
+	case ArgsDA:
+		arg(in.Rd.String())
+		arg(in.Ra.String())
+	case ArgsD:
+		arg(in.Rd.String())
+	case ArgsDAB:
+		arg(in.Rd.String())
+		arg(in.Ra.String())
+		if in.HasImm {
+			arg(strconv.FormatInt(in.Imm, 10))
+		} else {
+			arg(in.Rb.String())
+		}
+	case ArgsDABC:
+		arg(in.Rd.String())
+		arg(in.Ra.String())
+		arg(in.Rb.String())
+		arg(in.Rc.String())
+	case ArgsDMem:
+		arg(in.Rd.String())
+		arg(mem(in.Ra, in.Imm))
+	case ArgsMemB:
+		arg(mem(in.Ra, in.Imm))
+		arg(in.Rb.String())
+	case ArgsDMemB:
+		arg(in.Rd.String())
+		arg(mem(in.Ra, in.Imm))
+		arg(in.Rb.String())
+	case ArgsSV:
+		arg(in.Rd.String())
+		arg(in.Ra.String())
+	case ArgsCondTgt:
+		arg(in.Ra.String())
+		arg(tgt())
+	case ArgsTgt:
+		arg(tgt())
+	case ArgsSrc:
+		arg(src())
+	case ArgsStr:
+		arg(strconv.Quote(in.Sym))
+	case ArgsSplit:
+		for _, a := range in.Arms {
+			t := a.Sym
+			if t == "" {
+				t = "@" + strconv.Itoa(a.Target)
+			}
+			if a.Thick != RegNone {
+				arg(a.Thick.String() + " -> " + t)
+			} else {
+				arg(strconv.FormatInt(a.ThickImm, 10) + " -> " + t)
+			}
+		}
+	}
+	return b.String()
+}
+
+// DataSeg preloads Words into shared memory starting at Addr before the
+// program runs.
+type DataSeg struct {
+	Addr  int64
+	Words []int64
+}
+
+// Program is an assembled TCF program.
+type Program struct {
+	Name   string
+	Instrs []Instr
+	Labels map[string]int
+	Data   []DataSeg
+}
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.Instrs) }
+
+// At returns the instruction at pc.
+func (p *Program) At(pc int) Instr { return p.Instrs[pc] }
+
+// Entry returns the PC of label "main" if present, else 0.
+func (p *Program) Entry() int {
+	if pc, ok := p.Labels["main"]; ok {
+		return pc
+	}
+	return 0
+}
+
+// Disassemble renders the whole program as reassemblable source. Control
+// targets that lack a symbolic label get a synthesized "L<pc>" label.
+func (p *Program) Disassemble() string {
+	return p.render(false)
+}
+
+// Listing renders the program with numeric PCs for human consumption; the
+// output is not meant to be reassembled.
+func (p *Program) Listing() string {
+	return p.render(true)
+}
+
+func (p *Program) render(withPC bool) string {
+	byPC := make(map[int][]string)
+	for name, pc := range p.Labels {
+		byPC[pc] = append(byPC[pc], name)
+	}
+	for pc := range byPC {
+		sort.Strings(byPC[pc])
+	}
+	// Synthesize labels for anonymous targets so the output reassembles.
+	synth := func(in *Instr) {
+		fix := func(sym *string, target int) {
+			if *sym != "" || target < 0 {
+				return
+			}
+			name := "L" + strconv.Itoa(target)
+			*sym = name
+			found := false
+			for _, l := range byPC[target] {
+				if l == name {
+					found = true
+				}
+			}
+			if !found {
+				byPC[target] = append(byPC[target], name)
+			}
+		}
+		fix(&in.Sym, in.Target)
+		for i := range in.Arms {
+			fix(&in.Arms[i].Sym, in.Arms[i].Target)
+		}
+	}
+	instrs := make([]Instr, len(p.Instrs))
+	copy(instrs, p.Instrs)
+	for i := range instrs {
+		info := instrs[i].Op.Info()
+		if info.Args == ArgsCondTgt || info.Args == ArgsTgt || info.Args == ArgsSplit {
+			synth(&instrs[i])
+		}
+	}
+	var b strings.Builder
+	for _, d := range p.Data {
+		fmt.Fprintf(&b, ".data %d:", d.Addr)
+		for _, w := range d.Words {
+			fmt.Fprintf(&b, " %d", w)
+		}
+		b.WriteByte('\n')
+	}
+	for pc, in := range instrs {
+		for _, l := range byPC[pc] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		if withPC {
+			fmt.Fprintf(&b, "%4d    %s\n", pc, in.String())
+		} else {
+			fmt.Fprintf(&b, "    %s\n", in.String())
+		}
+	}
+	return b.String()
+}
+
+// Validate checks structural well-formedness: register classes per operand
+// slot, resolved in-range targets, scalar branch conditions (the flow-level
+// control rule of Section 2.2), and SPLIT arm sanity.
+func (p *Program) Validate() error {
+	check := func(pc int, cond bool, format string, args ...any) error {
+		if cond {
+			return nil
+		}
+		return fmt.Errorf("isa: %s: pc %d (%s): %s", p.Name, pc, p.Instrs[pc].Op, fmt.Sprintf(format, args...))
+	}
+	target := func(pc, t int) error {
+		return check(pc, t >= 0 && t < len(p.Instrs), "target %d out of range [0,%d)", t, len(p.Instrs))
+	}
+	for pc, in := range p.Instrs {
+		if !in.Op.Valid() {
+			return fmt.Errorf("isa: %s: pc %d: invalid opcode %d", p.Name, pc, in.Op)
+		}
+		info := in.Op.Info()
+		var err error
+		switch info.Args {
+		case ArgsNone, ArgsStr:
+		case ArgsDImm, ArgsD:
+			err = check(pc, in.Rd.Valid(), "invalid destination %s", in.Rd)
+		case ArgsDA:
+			if err = check(pc, in.Rd.Valid(), "invalid destination %s", in.Rd); err == nil {
+				err = check(pc, in.Ra.Valid(), "invalid source %s", in.Ra)
+			}
+		case ArgsDAB:
+			err = check(pc, in.Rd.Valid() && in.Ra.Valid() && (in.HasImm || in.Rb.Valid()),
+				"invalid operands %s, %s, %s", in.Rd, in.Ra, in.Rb)
+		case ArgsDABC:
+			err = check(pc, in.Rd.Valid() && in.Ra.Valid() && in.Rb.Valid() && in.Rc.Valid(),
+				"invalid operands")
+		// Memory address bases may be RegNone for absolute addressing
+		// (effective address = Imm).
+		case ArgsDMem:
+			err = check(pc, in.Rd.Valid() && (in.Ra.Valid() || in.Ra == RegNone),
+				"invalid operands %s, %s", in.Rd, in.Ra)
+		case ArgsMemB:
+			err = check(pc, (in.Ra.Valid() || in.Ra == RegNone) && in.Rb.Valid(),
+				"invalid operands %s, %s", in.Ra, in.Rb)
+		case ArgsDMemB:
+			err = check(pc, in.Rd.Valid() && (in.Ra.Valid() || in.Ra == RegNone) && in.Rb.Valid(),
+				"invalid operands")
+			if err == nil {
+				err = check(pc, in.Rd.IsVector(), "multiprefix destination %s must be thread-wise", in.Rd)
+			}
+		case ArgsSV:
+			err = check(pc, in.Rd.IsScalar(), "reduction destination %s must be scalar", in.Rd)
+			if err == nil {
+				err = check(pc, in.Ra.IsVector(), "reduction source %s must be thread-wise", in.Ra)
+			}
+		case ArgsCondTgt:
+			err = check(pc, in.Ra.IsScalar(), "branch condition %s must be scalar (flow-level control)", in.Ra)
+			if err == nil {
+				err = target(pc, in.Target)
+			}
+		case ArgsTgt:
+			err = target(pc, in.Target)
+		case ArgsSrc:
+			if !in.HasImm {
+				err = check(pc, in.Ra.Valid(), "invalid source %s", in.Ra)
+				if err == nil && (in.Op == SETTHICK || in.Op == NUMA) {
+					err = check(pc, in.Ra.IsScalar(), "%s source %s must be scalar", in.Op, in.Ra)
+				}
+			} else if in.Op == SETTHICK {
+				err = check(pc, in.Imm >= 0, "negative thickness %d", in.Imm)
+			} else if in.Op == NUMA {
+				err = check(pc, in.Imm >= 1, "NUMA bunch length %d must be >= 1", in.Imm)
+			}
+		case ArgsSplit:
+			err = check(pc, len(in.Arms) >= 1, "SPLIT needs at least one arm")
+			for _, a := range in.Arms {
+				if err != nil {
+					break
+				}
+				if a.Thick != RegNone {
+					err = check(pc, a.Thick.IsScalar(), "SPLIT arm thickness %s must be scalar", a.Thick)
+				} else {
+					err = check(pc, a.ThickImm >= 0, "negative SPLIT arm thickness %d", a.ThickImm)
+				}
+				if err == nil {
+					err = target(pc, a.Target)
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	for name, pc := range p.Labels {
+		if pc < 0 || pc > len(p.Instrs) {
+			return fmt.Errorf("isa: %s: label %q out of range", p.Name, name)
+		}
+	}
+	for _, d := range p.Data {
+		if d.Addr < 0 {
+			return fmt.Errorf("isa: %s: negative data address %d", p.Name, d.Addr)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package isa
+
+import "testing"
+
+func TestOpInfoComplete(t *testing.T) {
+	for op := Op(0); op < opCount; op++ {
+		info := op.Info()
+		if info.Name == "" {
+			t.Errorf("opcode %d has no metadata", op)
+		}
+	}
+}
+
+func TestOpByNameRoundTrip(t *testing.T) {
+	for op := Op(0); op < opCount; op++ {
+		got, ok := OpByName(op.String())
+		if !ok {
+			t.Fatalf("OpByName(%q) not found", op.String())
+		}
+		if got != op {
+			t.Fatalf("OpByName(%q) = %v, want %v", op.String(), got, op)
+		}
+	}
+}
+
+func TestOpByNameUnknown(t *testing.T) {
+	if _, ok := OpByName("FROBNICATE"); ok {
+		t.Fatal("unexpected opcode FROBNICATE")
+	}
+}
+
+func TestOpClassPredicates(t *testing.T) {
+	cases := []struct {
+		op                         Op
+		multiop, multiprefix, redu bool
+	}{
+		{MADD, true, false, false},
+		{MMIN, true, false, false},
+		{MPADD, false, true, false},
+		{MPMIN, false, true, false},
+		{RADD, false, false, true},
+		{RMIN, false, false, true},
+		{ADD, false, false, false},
+		{LD, false, false, false},
+	}
+	for _, c := range cases {
+		if got := c.op.IsMultiop(); got != c.multiop {
+			t.Errorf("%s.IsMultiop() = %v, want %v", c.op, got, c.multiop)
+		}
+		if got := c.op.IsMultiprefix(); got != c.multiprefix {
+			t.Errorf("%s.IsMultiprefix() = %v, want %v", c.op, got, c.multiprefix)
+		}
+		if got := c.op.IsReduction(); got != c.redu {
+			t.Errorf("%s.IsReduction() = %v, want %v", c.op, got, c.redu)
+		}
+	}
+}
+
+func TestCombineKind(t *testing.T) {
+	cases := map[Op]Op{
+		MADD: ADD, MPADD: ADD, RADD: ADD,
+		MAND: AND, MPAND: AND, RAND: AND,
+		MOR: OR, MPOR: OR, ROR: OR,
+		MMAX: MAX, MPMAX: MAX, RMAX: MAX,
+		MMIN: MIN, MPMIN: MIN, RMIN: MIN,
+	}
+	for op, want := range cases {
+		if got := op.CombineKind(); got != want {
+			t.Errorf("%s.CombineKind() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestCombineKindPanicsOnNonCombining(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ADD.CombineKind()
+}
+
+func TestIsBinaryALU(t *testing.T) {
+	for _, op := range []Op{ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, SHL, SHR, MIN, MAX, SEQ, SNE, SLT, SLE, SGT, SGE} {
+		if !op.IsBinaryALU() {
+			t.Errorf("%s should be binary ALU", op)
+		}
+	}
+	for _, op := range []Op{NEG, NOT, SEL, LD, ST, MADD, BEQZ, HALT, NOP, LDI} {
+		if op.IsBinaryALU() {
+			t.Errorf("%s should not be binary ALU", op)
+		}
+	}
+}
+
+func TestControlFlag(t *testing.T) {
+	for _, op := range []Op{BEQZ, BNEZ, JMP, CALL, RET, SPLIT, JOIN, BAR, SETTHICK, NUMA, PRAM, HALT} {
+		if !op.Info().Control {
+			t.Errorf("%s should be marked Control", op)
+		}
+	}
+	for _, op := range []Op{ADD, LD, ST, MPADD, PRINT} {
+		if op.Info().Control {
+			t.Errorf("%s should not be marked Control", op)
+		}
+	}
+}
+
+func TestMemRefFlags(t *testing.T) {
+	for _, op := range []Op{LD, ST, MADD, MOR, MPADD, MPMIN} {
+		if !op.Info().MemRef {
+			t.Errorf("%s should be a shared memory reference", op)
+		}
+	}
+	for _, op := range []Op{LDL, STL} {
+		if !op.Info().LocalRef || op.Info().MemRef {
+			t.Errorf("%s should be a local (not shared) memory reference", op)
+		}
+	}
+}

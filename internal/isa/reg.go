@@ -1,0 +1,93 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Reg identifies a register. Values 0..NumVRegs-1 name the thread-wise
+// registers V0..V31; values NumVRegs..NumVRegs+NumSRegs-1 name the
+// flow-common scalar registers S0..S15.
+type Reg uint8
+
+// Register file dimensions.
+const (
+	NumVRegs = 32 // thread-wise registers per flow
+	NumSRegs = 16 // flow-common scalar registers per flow
+	NumRegs  = NumVRegs + NumSRegs
+
+	// RegNone marks an unused register field.
+	RegNone Reg = 0xFF
+)
+
+// V returns the i'th thread-wise register.
+func V(i int) Reg {
+	if i < 0 || i >= NumVRegs {
+		panic(fmt.Sprintf("isa: V register index %d out of range", i))
+	}
+	return Reg(i)
+}
+
+// S returns the i'th flow-common scalar register.
+func S(i int) Reg {
+	if i < 0 || i >= NumSRegs {
+		panic(fmt.Sprintf("isa: S register index %d out of range", i))
+	}
+	return Reg(NumVRegs + i)
+}
+
+// IsScalar reports whether r names a flow-common scalar register.
+func (r Reg) IsScalar() bool { return r >= NumVRegs && r < NumRegs }
+
+// IsVector reports whether r names a thread-wise register.
+func (r Reg) IsVector() bool { return r < NumVRegs }
+
+// Valid reports whether r names a register (and is not RegNone).
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Index returns the index of r within its class (V or S bank).
+func (r Reg) Index() int {
+	if r.IsScalar() {
+		return int(r) - NumVRegs
+	}
+	return int(r)
+}
+
+// String returns the assembler name of r (V7, S3, or "-" for RegNone).
+func (r Reg) String() string {
+	switch {
+	case r.IsVector():
+		return "V" + strconv.Itoa(int(r))
+	case r.IsScalar():
+		return "S" + strconv.Itoa(int(r)-NumVRegs)
+	case r == RegNone:
+		return "-"
+	default:
+		return fmt.Sprintf("R?%d", int(r))
+	}
+}
+
+// ParseReg parses an assembler register name ("V0".."V31", "S0".."S15").
+func ParseReg(s string) (Reg, error) {
+	if len(s) < 2 {
+		return RegNone, fmt.Errorf("isa: invalid register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil {
+		return RegNone, fmt.Errorf("isa: invalid register %q", s)
+	}
+	switch strings.ToUpper(s[:1]) {
+	case "V":
+		if n < 0 || n >= NumVRegs {
+			return RegNone, fmt.Errorf("isa: V register %q out of range", s)
+		}
+		return V(n), nil
+	case "S":
+		if n < 0 || n >= NumSRegs {
+			return RegNone, fmt.Errorf("isa: S register %q out of range", s)
+		}
+		return S(n), nil
+	}
+	return RegNone, fmt.Errorf("isa: invalid register %q", s)
+}

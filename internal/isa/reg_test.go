@@ -1,0 +1,84 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegClasses(t *testing.T) {
+	if !V(0).IsVector() || V(0).IsScalar() {
+		t.Error("V0 must be vector")
+	}
+	if !V(31).IsVector() {
+		t.Error("V31 must be vector")
+	}
+	if !S(0).IsScalar() || S(0).IsVector() {
+		t.Error("S0 must be scalar")
+	}
+	if !S(15).IsScalar() {
+		t.Error("S15 must be scalar")
+	}
+	if RegNone.Valid() {
+		t.Error("RegNone must be invalid")
+	}
+}
+
+func TestRegIndex(t *testing.T) {
+	for i := 0; i < NumVRegs; i++ {
+		if V(i).Index() != i {
+			t.Fatalf("V(%d).Index() = %d", i, V(i).Index())
+		}
+	}
+	for i := 0; i < NumSRegs; i++ {
+		if S(i).Index() != i {
+			t.Fatalf("S(%d).Index() = %d", i, S(i).Index())
+		}
+	}
+}
+
+func TestRegConstructorsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { V(-1) }, func() { V(NumVRegs) },
+		func() { S(-1) }, func() { S(NumSRegs) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range register index")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: every valid register name round-trips through String/ParseReg.
+func TestRegStringParseRoundTrip(t *testing.T) {
+	prop := func(n uint8) bool {
+		r := Reg(n % NumRegs)
+		got, err := ParseReg(r.String())
+		return err == nil && got == r
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRegErrors(t *testing.T) {
+	for _, s := range []string{"", "V", "S", "X3", "V32", "S16", "V-1", "S-2", "Vx", "7"} {
+		if _, err := ParseReg(s); err == nil {
+			t.Errorf("ParseReg(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseRegLowercase(t *testing.T) {
+	r, err := ParseReg("v5")
+	if err != nil || r != V(5) {
+		t.Fatalf("ParseReg(v5) = %v, %v", r, err)
+	}
+	r, err = ParseReg("s2")
+	if err != nil || r != S(2) {
+		t.Fatalf("ParseReg(s2) = %v, %v", r, err)
+	}
+}

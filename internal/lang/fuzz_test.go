@@ -1,0 +1,30 @@
+package lang
+
+import "testing"
+
+// FuzzParse checks the tcf-e front end never panics and that accepted
+// programs survive a print/re-parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(kitchenSink)
+	f.Add("func main() { }")
+	f.Add("func main() { #8; thick int v = tid; print(radd(v)); }")
+	f.Add("shared int a[4] @ 10 = {1, -2};\nfunc main() { a[0] += 1; }")
+	f.Add("func main() { parallel { #2: halt; #2: barrier; } }")
+	f.Add("func main() { switch (1) { case 1: halt; default: barrier; } }")
+	f.Add("func main() { for (int i = 0; i < 3; i += 1) { if (i) { break; } } }")
+	f.Add("func f(a, b) { return a / b; }\nfunc main() { print(f(6, 2)); }")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		out := Print(prog)
+		prog2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\nsource:\n%s\nprinted:\n%s", err, src, out)
+		}
+		if Print(prog2) != out {
+			t.Fatalf("print not stable:\n%s\nvs\n%s", out, Print(prog2))
+		}
+	})
+}

@@ -1,0 +1,241 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`func main() { int x = 0x10; x <<= 2; prints("hi\n"); } // c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokKwFunc, TokIdent, TokLParen, TokRParen, TokLBrace,
+		TokKwInt, TokIdent, TokAssign, TokInt, TokSemi,
+		TokIdent, TokShlAssign, TokInt, TokSemi,
+		TokIdent, TokLParen, TokString, TokRParen, TokSemi, TokRBrace, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v, want %v", i, toks[i], k)
+		}
+	}
+	if toks[8].Int != 16 {
+		t.Fatalf("hex literal = %d", toks[8].Int)
+	}
+	if toks[16].Str != "hi\n" {
+		t.Fatalf("string = %q", toks[16].Str)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "+ - * / % & | ^ ~ ! << >> < <= > >= == != && || = += -= *= /= %= &= |= ^= <<= >>= # @ :"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokPlus, TokMinus, TokStar, TokSlash, TokPercent, TokAmp,
+		TokPipe, TokCaret, TokTilde, TokBang, TokShl, TokShr, TokLt, TokLe,
+		TokGt, TokGe, TokEq, TokNe, TokAndAnd, TokOrOr, TokAssign,
+		TokPlusAssign, TokMinusAssign, TokStarAssign, TokSlashAssign,
+		TokPercentAssign, TokAmpAssign, TokPipeAssign, TokCaretAssign,
+		TokShlAssign, TokShrAssign, TokHash, TokAt, TokColon, TokEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v, want %v", i, toks[i], k)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("a /* multi\nline */ b // end\nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 || toks[0].Text != "a" || toks[1].Text != "b" || toks[2].Text != "c" {
+		t.Fatalf("comment handling: %v", toks)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, "/* open", `"bad \q"`, "$", "99999999999999999999999"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, _ := Lex("a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("pos a = %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Fatalf("pos b = %v", toks[1].Pos)
+	}
+}
+
+const kitchenSink = `
+shared int a[8] @ 100 = {1, 2, 3, -4};
+shared int total;
+local int scratch[16];
+
+func main() {
+    int size = 8;
+    #size;
+    thick int v = a[tid] * 2;
+    a[tid] = v;
+    if (size > 4) {
+        total = radd(v);
+    } else {
+        total = 0;
+    }
+    while (size > 1) {
+        size = size / 2;
+    }
+    for (int i = 0; i < 4; i += 1) {
+        scratch[i] = i;
+    }
+    parallel {
+        #4: a[tid] = 0;
+        #4: a[tid + 4] = 1;
+    }
+    #1/8;
+    total += 1;
+    barrier;
+    print(helper(total, 2));
+    prints("done");
+    halt;
+}
+
+func helper(x, y) {
+    return x * y + mpadd(&total, 1);
+}
+`
+
+func TestParseKitchenSink(t *testing.T) {
+	prog, err := Parse(kitchenSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Globals) != 3 {
+		t.Fatalf("globals = %d", len(prog.Globals))
+	}
+	if len(prog.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(prog.Funcs))
+	}
+	if prog.Func("main") == nil || prog.Func("helper") == nil || prog.Func("nope") != nil {
+		t.Fatal("Func lookup broken")
+	}
+	g := prog.Globals[0]
+	if g.Name != "a" || g.ArrayLen != 8 || g.Addr != 100 || len(g.InitList) != 4 || g.InitList[3] != -4 {
+		t.Fatalf("global a = %+v", g)
+	}
+	if prog.Globals[2].Space != SpaceLocal {
+		t.Fatal("scratch should be local")
+	}
+}
+
+// Property-style: parse → print → parse yields an identical print.
+func TestParsePrintRoundTrip(t *testing.T) {
+	sources := []string{
+		kitchenSink,
+		"func main() { print(1 + 2 * 3 - 4 / 2); }",
+		"func main() { print((1 + 2) * (3 - 4)); }",
+		"func main() { int x = 0; x += 1; x <<= 2; x %= 3; }",
+		"func main() { if (1) { halt; } else { barrier; } }",
+		"func main() { for (;;) { halt; } }",
+		"func main() { #8; thick int v = tid; print(radd(v)); }",
+		"func f(a, b) { return a; }\nfunc main() { f(1, 2); }",
+		"func main() { #1/4; halt; }",
+		"func main() { for (;;) { break; } while (1) { continue; } }",
+		"func main() { switch (3) { case 1, 2: halt; case 3: barrier; default: prints(\"d\"); } }",
+	}
+	for i, src := range sources {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("source %d: %v", i, err)
+		}
+		out1 := Print(p1)
+		p2, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("source %d reparse: %v\n%s", i, err, out1)
+		}
+		out2 := Print(p2)
+		if out1 != out2 {
+			t.Fatalf("source %d not stable:\n--- first\n%s\n--- second\n%s", i, out1, out2)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse("func main() { print(1 + 2 * 3); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := prog.Funcs[0].Body.Stmts[0].(*ExprStmt).X.(*Call)
+	bin := call.Args[0].(*Binary)
+	if bin.Op != TokPlus {
+		t.Fatalf("root op = %v, want +", bin.Op)
+	}
+	if inner, ok := bin.Y.(*Binary); !ok || inner.Op != TokStar {
+		t.Fatalf("rhs = %v", ExprString(bin.Y))
+	}
+}
+
+func TestParseNumaVsThickness(t *testing.T) {
+	prog, err := Parse("func main() { #8; #1/4; #1; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := prog.Funcs[0].Body.Stmts
+	if _, ok := stmts[0].(*ThickStmt); !ok {
+		t.Fatalf("#8 parsed as %T", stmts[0])
+	}
+	if _, ok := stmts[1].(*NumaStmt); !ok {
+		t.Fatalf("#1/4 parsed as %T", stmts[1])
+	}
+	if _, ok := stmts[2].(*ThickStmt); !ok {
+		t.Fatalf("#1 parsed as %T", stmts[2])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"missing-brace", "func main() {", "expected"},
+		{"bad-decl", "int;", "expected"},
+		{"empty-parallel", "func main() { parallel { } }", "at least one arm"},
+		{"zero-array", "shared int a[0];", "positive length"},
+		{"assign-to-call", "func main() { f() = 3; }", "assignment target"},
+		{"top-level-expr", "1 + 2;", "expected declaration"},
+		{"bad-for", "func main() { for (1 1) {} }", "expected"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("want %q, got %v", c.want, err)
+			}
+		})
+	}
+}
+
+func TestSpaceString(t *testing.T) {
+	if SpaceReg.String() != "reg" || SpaceShared.String() != "shared" || SpaceLocal.String() != "local" {
+		t.Fatal("space names")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, _ := Lex(`x 42 "s"`)
+	if !strings.Contains(toks[0].String(), "x") ||
+		!strings.Contains(toks[1].String(), "42") ||
+		!strings.Contains(toks[2].String(), "s") {
+		t.Fatal("token rendering")
+	}
+	if TokKind(999).String() == "" {
+		t.Fatal("unknown token kind should render")
+	}
+}

@@ -1,0 +1,642 @@
+package lang
+
+import "fmt"
+
+// Parse builds the AST of a tcf-e compilation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(TokEOF) {
+		switch {
+		case p.at(TokKwFunc):
+			fn, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+		case p.at(TokKwShared) || p.at(TokKwLocal) || p.at(TokKwInt) || p.at(TokKwThick):
+			d, err := p.varDecl(true)
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, d)
+		default:
+			return nil, p.errf("expected declaration, got %s", p.cur())
+		}
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token        { return p.toks[p.pos] }
+func (p *parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k TokKind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, p.errf("expected %s, got %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("lang: %s: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+// varDecl parses
+//
+//	["shared"|"local"] ["thick"] "int" name ["[" int "]"] ["@" int]
+//	    ["=" initializer] ";"
+//
+// Top-level register-space declarations are rejected by sema, not here.
+func (p *parser) varDecl(topLevel bool) (*VarDecl, error) {
+	d := &VarDecl{Pos: p.cur().Pos, ArrayLen: -1, Addr: -1, Space: SpaceReg}
+	if topLevel {
+		d.Space = SpaceShared
+	}
+	if p.accept(TokKwShared) {
+		d.Space = SpaceShared
+	} else if p.accept(TokKwLocal) {
+		d.Space = SpaceLocal
+	}
+	if p.accept(TokKwThick) {
+		d.Thick = true
+	}
+	if _, err := p.expect(TokKwInt); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name.Text
+	if p.accept(TokLBracket) {
+		n, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		if n.Int <= 0 {
+			return nil, fmt.Errorf("lang: %s: array %s needs positive length", n.Pos, d.Name)
+		}
+		d.ArrayLen = int(n.Int)
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(TokAt) {
+		neg := p.accept(TokMinus)
+		a, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		d.Addr = a.Int
+		if neg {
+			d.Addr = -d.Addr
+		}
+	}
+	if p.accept(TokAssign) {
+		if p.at(TokLBrace) {
+			p.next()
+			for {
+				neg := p.accept(TokMinus)
+				v, err := p.expect(TokInt)
+				if err != nil {
+					return nil, err
+				}
+				val := v.Int
+				if neg {
+					val = -val
+				}
+				d.InitList = append(d.InitList, val)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			if _, err := p.expect(TokRBrace); err != nil {
+				return nil, err
+			}
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.InitExpr = e
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	fn := &FuncDecl{Pos: p.cur().Pos}
+	p.next() // func
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	fn.Name = name.Text
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	for !p.at(TokRParen) {
+		param, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, param.Text)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*BlockStmt, error) {
+	b := &BlockStmt{Pos: p.cur().Pos}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for !p.at(TokRBrace) && !p.at(TokEOF) {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch {
+	case p.at(TokLBrace):
+		return p.block()
+	case p.at(TokKwInt) || p.at(TokKwThick) || p.at(TokKwShared) || p.at(TokKwLocal):
+		return p.varDecl(false)
+	case p.at(TokKwIf):
+		return p.ifStmt()
+	case p.at(TokKwWhile):
+		return p.whileStmt()
+	case p.at(TokKwFor):
+		return p.forStmt()
+	case p.at(TokKwParallel):
+		return p.parallelStmt()
+	case p.at(TokKwSwitch):
+		return p.switchStmt()
+	case p.at(TokHash):
+		return p.thickOrNuma()
+	case p.at(TokKwBarrier):
+		pos := p.next().Pos
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BarrierStmt{Pos: pos}, nil
+	case p.at(TokKwHalt):
+		pos := p.next().Pos
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &HaltStmt{Pos: pos}, nil
+	case p.at(TokKwBreak):
+		pos := p.next().Pos
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: pos}, nil
+	case p.at(TokKwContinue):
+		pos := p.next().Pos
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: pos}, nil
+	case p.at(TokKwReturn):
+		pos := p.next().Pos
+		r := &ReturnStmt{Pos: pos}
+		if !p.at(TokSemi) {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			r.X = e
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+	s, err := p.simpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// simpleStmt parses an assignment or expression statement without the
+// trailing semicolon (shared with for-headers).
+func (p *parser) simpleStmt() (Stmt, error) {
+	pos := p.cur().Pos
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if op := p.cur().Kind; isAssignOp(op) {
+		p.next()
+		switch e.(type) {
+		case *Ident, *Index:
+		default:
+			return nil, fmt.Errorf("lang: %s: assignment target must be a variable or array element", pos)
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: pos, LHS: e, Op: op, RHS: rhs}, nil
+	}
+	return &ExprStmt{Pos: pos, X: e}, nil
+}
+
+func isAssignOp(k TokKind) bool {
+	switch k {
+	case TokAssign, TokPlusAssign, TokMinusAssign, TokStarAssign, TokSlashAssign,
+		TokPercentAssign, TokAmpAssign, TokPipeAssign, TokCaretAssign,
+		TokShlAssign, TokShrAssign:
+		return true
+	}
+	return false
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	pos := p.next().Pos
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Pos: pos, Cond: cond, Then: then}
+	if p.accept(TokKwElse) {
+		s.Else, err = p.stmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	pos := p.next().Pos
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: pos, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	pos := p.next().Pos
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Pos: pos}
+	var err error
+	if !p.at(TokSemi) {
+		if p.at(TokKwInt) || p.at(TokKwThick) {
+			s.Init, err = p.varDecl(false) // consumes ';'
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			s.Init, err = p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.next()
+	}
+	if !p.at(TokSemi) {
+		s.Cond, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if !p.at(TokRParen) {
+		s.Post, err = p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	s.Body, err = p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) switchStmt() (Stmt, error) {
+	pos := p.next().Pos
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	subject, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	s := &SwitchStmt{Pos: pos, Subject: subject}
+	for !p.at(TokRBrace) {
+		c := SwitchCase{Pos: p.cur().Pos}
+		switch {
+		case p.accept(TokKwCase):
+			for {
+				v, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				c.Values = append(c.Values, v)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+		case p.accept(TokKwDefault):
+		default:
+			return nil, p.errf("expected case or default in switch")
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		for !p.at(TokKwCase) && !p.at(TokKwDefault) && !p.at(TokRBrace) && !p.at(TokEOF) {
+			body, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			c.Body = append(c.Body, body)
+		}
+		s.Cases = append(s.Cases, c)
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	if len(s.Cases) == 0 {
+		return nil, fmt.Errorf("lang: %s: switch needs at least one case", pos)
+	}
+	return s, nil
+}
+
+func (p *parser) parallelStmt() (Stmt, error) {
+	pos := p.next().Pos
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	s := &ParallelStmt{Pos: pos}
+	for !p.at(TokRBrace) {
+		armPos := p.cur().Pos
+		if _, err := p.expect(TokHash); err != nil {
+			return nil, err
+		}
+		th, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Arms = append(s.Arms, ParArm{Pos: armPos, Thick: th, Body: body})
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	if len(s.Arms) == 0 {
+		return nil, fmt.Errorf("lang: %s: parallel statement needs at least one arm", pos)
+	}
+	return s, nil
+}
+
+// thickOrNuma parses "#expr;" (thickness) or "#1/expr;" (NUMA bunch).
+func (p *parser) thickOrNuma() (Stmt, error) {
+	pos := p.next().Pos // '#'
+	// Lookahead for the literal "1 /" prefix marking NUMA.
+	if p.at(TokInt) && p.cur().Int == 1 && p.toks[p.pos+1].Kind == TokSlash {
+		p.next() // 1
+		p.next() // /
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &NumaStmt{Pos: pos, X: e}, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &ThickStmt{Pos: pos, X: e}, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[TokKind]int{
+	TokOrOr:    1,
+	TokAndAnd:  2,
+	TokPipe:    3,
+	TokCaret:   4,
+	TokAmp:     5,
+	TokEq:      6,
+	TokNe:      6,
+	TokLt:      7,
+	TokLe:      7,
+	TokGt:      7,
+	TokGe:      7,
+	TokShl:     8,
+	TokShr:     8,
+	TokPlus:    9,
+	TokMinus:   9,
+	TokStar:    10,
+	TokSlash:   10,
+	TokPercent: 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().Kind
+		prec, ok := binPrec[op]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		pos := p.next().Pos
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Pos: pos, Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokMinus, TokBang, TokTilde:
+		tok := p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: tok.Pos, Op: tok.Kind, X: x}, nil
+	case TokAmp:
+		pos := p.next().Pos
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		a := &AddrOf{Pos: pos, Name: name.Text}
+		if p.accept(TokLBracket) {
+			a.Idx, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+		}
+		return a, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokInt:
+		p.next()
+		return &IntLit{Pos: tok.Pos, Val: tok.Int}, nil
+	case TokString:
+		p.next()
+		return &StrLit{Pos: tok.Pos, Val: tok.Str}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		p.next()
+		switch {
+		case p.accept(TokLParen):
+			c := &Call{Pos: tok.Pos, Name: tok.Text}
+			for !p.at(TokRParen) {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				c.Args = append(c.Args, a)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return c, nil
+		case p.accept(TokLBracket):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			return &Index{Pos: tok.Pos, Name: tok.Text, Idx: idx}, nil
+		default:
+			return &Ident{Pos: tok.Pos, Name: tok.Text}, nil
+		}
+	}
+	return nil, p.errf("expected expression, got %s", tok)
+}

@@ -1,0 +1,240 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders the program back to tcf-e source (canonical formatting).
+// Parse(Print(p)) is structurally equivalent to p.
+func Print(p *Program) string {
+	var b strings.Builder
+	for _, d := range p.Globals {
+		printVarDecl(&b, d, 0, true)
+	}
+	for i, f := range p.Funcs {
+		if i > 0 || len(p.Globals) > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "func %s(%s) ", f.Name, strings.Join(f.Params, ", "))
+		printBlock(&b, f.Body, 0)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func indent(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func printVarDecl(b *strings.Builder, d *VarDecl, depth int, topLevel bool) {
+	indent(b, depth)
+	if topLevel || d.Space != SpaceReg {
+		switch d.Space {
+		case SpaceShared:
+			b.WriteString("shared ")
+		case SpaceLocal:
+			b.WriteString("local ")
+		}
+	}
+	if d.Thick {
+		b.WriteString("thick ")
+	}
+	b.WriteString("int ")
+	b.WriteString(d.Name)
+	if d.ArrayLen >= 0 {
+		fmt.Fprintf(b, "[%d]", d.ArrayLen)
+	}
+	if d.Addr >= 0 {
+		fmt.Fprintf(b, " @ %d", d.Addr)
+	}
+	if d.InitList != nil {
+		b.WriteString(" = {")
+		for i, v := range d.InitList {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(strconv.FormatInt(v, 10))
+		}
+		b.WriteString("}")
+	} else if d.InitExpr != nil {
+		b.WriteString(" = ")
+		b.WriteString(ExprString(d.InitExpr))
+	}
+	b.WriteString(";\n")
+}
+
+func printBlock(b *strings.Builder, blk *BlockStmt, depth int) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		printStmt(b, s, depth+1)
+	}
+	indent(b, depth)
+	b.WriteString("}")
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	switch s := s.(type) {
+	case *VarDecl:
+		printVarDecl(b, s, depth, false)
+	case *AssignStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "%s %s %s;\n", ExprString(s.LHS), s.Op, ExprString(s.RHS))
+	case *ExprStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "%s;\n", ExprString(s.X))
+	case *IfStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "if (%s) ", ExprString(s.Cond))
+		printSubStmt(b, s.Then, depth)
+		if s.Else != nil {
+			indent(b, depth)
+			b.WriteString("else ")
+			printSubStmt(b, s.Else, depth)
+		}
+	case *WhileStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "while (%s) ", ExprString(s.Cond))
+		printSubStmt(b, s.Body, depth)
+	case *ForStmt:
+		indent(b, depth)
+		b.WriteString("for (")
+		if s.Init != nil {
+			printInline(b, s.Init)
+		}
+		b.WriteString("; ")
+		if s.Cond != nil {
+			b.WriteString(ExprString(s.Cond))
+		}
+		b.WriteString("; ")
+		if s.Post != nil {
+			printInline(b, s.Post)
+		}
+		b.WriteString(") ")
+		printSubStmt(b, s.Body, depth)
+	case *BlockStmt:
+		indent(b, depth)
+		printBlock(b, s, depth)
+		b.WriteByte('\n')
+	case *ParallelStmt:
+		indent(b, depth)
+		b.WriteString("parallel {\n")
+		for _, arm := range s.Arms {
+			indent(b, depth+1)
+			fmt.Fprintf(b, "#%s: ", ExprString(arm.Thick))
+			printSubStmt(b, arm.Body, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *ThickStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "#%s;\n", ExprString(s.X))
+	case *NumaStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "#1/%s;\n", ExprString(s.X))
+	case *BarrierStmt:
+		indent(b, depth)
+		b.WriteString("barrier;\n")
+	case *ReturnStmt:
+		indent(b, depth)
+		if s.X != nil {
+			fmt.Fprintf(b, "return %s;\n", ExprString(s.X))
+		} else {
+			b.WriteString("return;\n")
+		}
+	case *HaltStmt:
+		indent(b, depth)
+		b.WriteString("halt;\n")
+	case *SwitchStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "switch (%s) {\n", ExprString(s.Subject))
+		for _, c := range s.Cases {
+			indent(b, depth)
+			if c.Values == nil {
+				b.WriteString("default:\n")
+			} else {
+				vals := make([]string, len(c.Values))
+				for i, v := range c.Values {
+					vals[i] = ExprString(v)
+				}
+				fmt.Fprintf(b, "case %s:\n", strings.Join(vals, ", "))
+			}
+			for _, sub := range c.Body {
+				printStmt(b, sub, depth+1)
+			}
+		}
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *BreakStmt:
+		indent(b, depth)
+		b.WriteString("break;\n")
+	case *ContinueStmt:
+		indent(b, depth)
+		b.WriteString("continue;\n")
+	default:
+		panic(fmt.Sprintf("lang: printStmt: unknown %T", s))
+	}
+}
+
+// printSubStmt prints the statement after a control header: blocks inline,
+// other statements on their own indented line.
+func printSubStmt(b *strings.Builder, s Stmt, depth int) {
+	if blk, ok := s.(*BlockStmt); ok {
+		printBlock(b, blk, depth)
+		b.WriteByte('\n')
+		return
+	}
+	b.WriteByte('\n')
+	printStmt(b, s, depth+1)
+}
+
+// printInline renders a simple statement without trailing semicolon/newline
+// (for-headers).
+func printInline(b *strings.Builder, s Stmt) {
+	switch s := s.(type) {
+	case *AssignStmt:
+		fmt.Fprintf(b, "%s %s %s", ExprString(s.LHS), s.Op, ExprString(s.RHS))
+	case *ExprStmt:
+		b.WriteString(ExprString(s.X))
+	case *VarDecl:
+		var tmp strings.Builder
+		printVarDecl(&tmp, s, 0, false)
+		b.WriteString(strings.TrimSuffix(strings.TrimSpace(tmp.String()), ";"))
+	default:
+		panic(fmt.Sprintf("lang: printInline: unknown %T", s))
+	}
+}
+
+// ExprString renders an expression (fully parenthesized for binaries, so
+// precedence round-trips trivially).
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return strconv.FormatInt(e.Val, 10)
+	case *StrLit:
+		return strconv.Quote(e.Val)
+	case *Ident:
+		return e.Name
+	case *Unary:
+		return e.Op.String() + ExprString(e.X)
+	case *Binary:
+		return "(" + ExprString(e.X) + " " + e.Op.String() + " " + ExprString(e.Y) + ")"
+	case *Index:
+		return e.Name + "[" + ExprString(e.Idx) + "]"
+	case *AddrOf:
+		if e.Idx == nil {
+			return "&" + e.Name
+		}
+		return "&" + e.Name + "[" + ExprString(e.Idx) + "]"
+	case *Call:
+		parts := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			parts[i] = ExprString(a)
+		}
+		return e.Name + "(" + strings.Join(parts, ", ") + ")"
+	}
+	panic(fmt.Sprintf("lang: ExprString: unknown %T", e))
+}

@@ -1,0 +1,150 @@
+// Package lang implements the front end of tcf-e, the small C-like TCF
+// language used for the paper's Section 4 programming examples: thickness
+// statements (#expr;), NUMA declarations (#1/expr;), thick (thread-wise) and
+// flow-common variables, the parallel statement, flow-level functions, and
+// multi(prefix)operation intrinsics.
+package lang
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokString
+
+	// Keywords.
+	TokKwInt
+	TokKwThick
+	TokKwShared
+	TokKwLocal
+	TokKwFunc
+	TokKwIf
+	TokKwElse
+	TokKwWhile
+	TokKwFor
+	TokKwParallel
+	TokKwReturn
+	TokKwBarrier
+	TokKwHalt
+	TokKwBreak
+	TokKwContinue
+	TokKwSwitch
+	TokKwCase
+	TokKwDefault
+
+	// Punctuation.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokSemi
+	TokComma
+	TokColon
+	TokHash
+	TokAt
+	TokAmpPrefix // '&' used as address-of (lexed as TokAmp; parser decides)
+
+	// Operators.
+	TokAssign // =
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokTilde
+	TokBang
+	TokShl
+	TokShr
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokEq
+	TokNe
+	TokAndAnd
+	TokOrOr
+	// Compound assignments.
+	TokPlusAssign
+	TokMinusAssign
+	TokStarAssign
+	TokSlashAssign
+	TokPercentAssign
+	TokAmpAssign
+	TokPipeAssign
+	TokCaretAssign
+	TokShlAssign
+	TokShrAssign
+)
+
+var kindNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokInt: "integer", TokString: "string",
+	TokKwInt: "int", TokKwThick: "thick", TokKwShared: "shared", TokKwLocal: "local",
+	TokKwFunc: "func", TokKwIf: "if", TokKwElse: "else", TokKwWhile: "while",
+	TokKwFor: "for", TokKwParallel: "parallel", TokKwReturn: "return",
+	TokKwBarrier: "barrier", TokKwHalt: "halt",
+	TokKwBreak: "break", TokKwContinue: "continue",
+	TokKwSwitch: "switch", TokKwCase: "case", TokKwDefault: "default",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokSemi: ";", TokComma: ",",
+	TokColon: ":", TokHash: "#", TokAt: "@",
+	TokAssign: "=", TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/",
+	TokPercent: "%", TokAmp: "&", TokPipe: "|", TokCaret: "^", TokTilde: "~",
+	TokBang: "!", TokShl: "<<", TokShr: ">>", TokLt: "<", TokLe: "<=",
+	TokGt: ">", TokGe: ">=", TokEq: "==", TokNe: "!=", TokAndAnd: "&&", TokOrOr: "||",
+	TokPlusAssign: "+=", TokMinusAssign: "-=", TokStarAssign: "*=",
+	TokSlashAssign: "/=", TokPercentAssign: "%=", TokAmpAssign: "&=",
+	TokPipeAssign: "|=", TokCaretAssign: "^=", TokShlAssign: "<<=", TokShrAssign: ">>=",
+}
+
+func (k TokKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"int": TokKwInt, "thick": TokKwThick, "shared": TokKwShared, "local": TokKwLocal,
+	"func": TokKwFunc, "if": TokKwIf, "else": TokKwElse, "while": TokKwWhile,
+	"for": TokKwFor, "parallel": TokKwParallel, "return": TokKwReturn,
+	"barrier": TokKwBarrier, "halt": TokKwHalt,
+	"break": TokKwBreak, "continue": TokKwContinue,
+	"switch": TokKwSwitch, "case": TokKwCase, "default": TokKwDefault,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Pos  Pos
+	Text string // identifier name / literal text
+	Int  int64  // TokInt value
+	Str  string // TokString unquoted value
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("ident(%s)", t.Text)
+	case TokInt:
+		return fmt.Sprintf("int(%d)", t.Int)
+	case TokString:
+		return fmt.Sprintf("string(%q)", t.Str)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,160 @@
+// Package machine implements the extended PRAM-NUMA machine of Section 3: P
+// processor groups of Tp TCF processor slots, a shared memory with PRAM step
+// semantics, per-group local memories, a distance-aware latency model, and a
+// step engine realizing the six execution variants of Section 3.2.
+//
+// The physical organization follows Figure 5/13: each group is one physical
+// multithreaded pipeline whose TCF storage buffer holds up to Tp resident
+// flows; within a step the pipeline executes the resident TCFs' operation
+// slices one by one (the single-processor latency-hiding view of Figure 6).
+package machine
+
+import (
+	"fmt"
+
+	"tcfpram/internal/mem"
+	"tcfpram/internal/topology"
+	"tcfpram/internal/variant"
+)
+
+// Config describes a machine instance.
+type Config struct {
+	// Variant selects the execution model (Section 3.2).
+	Variant variant.Kind
+
+	// Groups is P, the number of processor groups (physical pipelines).
+	Groups int
+	// ProcsPerGroup is Tp, the TCF processor slots per group (the capacity
+	// of the TCF storage buffer; also the thread count per processor in
+	// the thread-based variants).
+	ProcsPerGroup int
+
+	// SharedWords sizes the shared memory; LocalWords sizes each group's
+	// local memory block.
+	SharedWords int
+	LocalWords  int
+
+	// Topology is the distance metric between groups and memory blocks.
+	// Its Size must equal Groups. Nil defaults to a ring.
+	Topology topology.Topology
+
+	// WritePolicy resolves concurrent shared-memory writes.
+	WritePolicy mem.Policy
+
+	// PipelineDepth is the per-step pipeline fill/drain overhead in
+	// cycles.
+	PipelineDepth int
+	// MemLatencyBase is the base shared-memory round-trip latency in
+	// cycles; the distance to the referenced module is added on top.
+	MemLatencyBase int
+
+	// BalancedBound is b, the operation budget per group per step in the
+	// Balanced variant.
+	BalancedBound int
+
+	// MultiInstrWindow is the maximum instructions a flow executes per
+	// step in the MultiInstruction variant.
+	MultiInstrWindow int
+
+	// VectorWidth is the fixed thickness of the FixedThickness variant
+	// (defaults to ProcsPerGroup).
+	VectorWidth int
+
+	// TimeSliceSteps enables preemptive time-shared multitasking: every
+	// quantum of steps, each group with pending flows demotes its
+	// longest-resident ready flow to the back of the pending queue and
+	// promotes the next pending task. Rotating the TCF storage buffer is
+	// free on the TCF variants (Table 1's task-switch row); the
+	// thread-based variants pay a full Tp-context switch per rotation.
+	// 0 disables preemption (tasks rotate only when flows finish).
+	TimeSliceSteps int64
+
+	// AutoSplitThreshold enables OS-level splitting of overly thick flows
+	// (Section 3.3): when a SETTHICK raises a flow's thickness above the
+	// threshold on a control-parallel variant, the machine fragments the
+	// flow into threshold-sized pieces allocated across the least-loaded
+	// groups. 0 disables splitting.
+	AutoSplitThreshold int
+
+	// MaxSteps aborts runaway programs.
+	MaxSteps int64
+
+	// Parallel executes groups on separate goroutines within a step.
+	// Results are identical either way; this only changes wall-clock.
+	Parallel bool
+
+	// TraceEnabled records per-slice execution for the trace package.
+	TraceEnabled bool
+}
+
+// Default returns a small, fully specified configuration for the given
+// variant: P=4 groups, Tp=4 slots, 64Ki shared words, 4Ki local words,
+// ring topology, arbitrary CRCW.
+func Default(kind variant.Kind) Config {
+	groups := 4
+	if kind == variant.FixedThickness {
+		groups = 1 // the vector/SIMD reduction limits the machine to one processor
+	}
+	return Config{
+		Variant:          kind,
+		Groups:           groups,
+		ProcsPerGroup:    4,
+		SharedWords:      1 << 16,
+		LocalWords:       1 << 12,
+		WritePolicy:      mem.Arbitrary,
+		PipelineDepth:    4,
+		MemLatencyBase:   8,
+		BalancedBound:    4,
+		MultiInstrWindow: 8,
+		MaxSteps:         1 << 22,
+	}
+}
+
+// normalize fills defaults and validates; it returns the effective config.
+func (c Config) normalize() (Config, error) {
+	if !c.Variant.Valid() {
+		return c, fmt.Errorf("machine: invalid variant %v", c.Variant)
+	}
+	if c.Groups <= 0 || c.ProcsPerGroup <= 0 {
+		return c, fmt.Errorf("machine: need positive Groups (%d) and ProcsPerGroup (%d)", c.Groups, c.ProcsPerGroup)
+	}
+	if c.Variant == variant.FixedThickness && c.Groups != 1 {
+		// The paper's vector/SIMD reduction limits the machine to one
+		// processor with a fixed-width datapath.
+		return c, fmt.Errorf("machine: fixed-thickness variant requires exactly one group, got %d", c.Groups)
+	}
+	if c.SharedWords <= 0 {
+		c.SharedWords = 1 << 16
+	}
+	if c.LocalWords <= 0 {
+		c.LocalWords = 1 << 12
+	}
+	if c.Topology == nil {
+		c.Topology = topology.NewRing(c.Groups)
+	}
+	if c.Topology.Size() != c.Groups {
+		return c, fmt.Errorf("machine: topology size %d != groups %d", c.Topology.Size(), c.Groups)
+	}
+	if c.PipelineDepth < 0 || c.MemLatencyBase < 0 {
+		return c, fmt.Errorf("machine: negative latency parameters")
+	}
+	if c.PipelineDepth == 0 {
+		c.PipelineDepth = 4
+	}
+	if c.BalancedBound <= 0 {
+		c.BalancedBound = 4
+	}
+	if c.MultiInstrWindow <= 0 {
+		c.MultiInstrWindow = 8
+	}
+	if c.VectorWidth <= 0 {
+		c.VectorWidth = c.ProcsPerGroup
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 1 << 22
+	}
+	return c, nil
+}
+
+// TotalProcessors returns P*Tp, the number of TCF processor slots.
+func (c Config) TotalProcessors() int { return c.Groups * c.ProcsPerGroup }

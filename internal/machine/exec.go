@@ -1,0 +1,654 @@
+package machine
+
+import (
+	"sort"
+	"sync"
+
+	"tcfpram/internal/isa"
+	"tcfpram/internal/sched"
+	"tcfpram/internal/tcf"
+	"tcfpram/internal/variant"
+)
+
+// SliceExec records one executed slice bundle for tracing: flow f on group
+// g/slot s executed lanes [FirstLane, FirstLane+Lanes) of the instruction at
+// PC (Lanes = 1 per instruction in NUMA bunches).
+type SliceExec struct {
+	Group, Slot int
+	Flow        int
+	PC          int
+	Op          isa.Op
+	FirstLane   int
+	Lanes       int
+	NUMA        bool
+}
+
+// StepRecord is one step of the execution trace.
+type StepRecord struct {
+	Step        int64
+	Cycles      int64
+	GroupCycles []int64
+	Slices      []SliceExec
+}
+
+// Step advances the machine by one synchronous step.
+func (m *Machine) Step() error {
+	if m.prog == nil || len(m.flows) == 0 {
+		return m.failf("Step before LoadProgram/Boot")
+	}
+	if m.runErr != nil {
+		return m.runErr
+	}
+	if m.cfg.Variant == variant.MultiInstruction {
+		return m.stepEngine(false)
+	}
+	return m.stepEngine(true)
+}
+
+// stepEngine runs one step. lockstep selects PRAM step semantics (buffered
+// writes, one TCF instruction per flow); otherwise the XMT-style
+// multi-instruction engine with immediate memory semantics runs.
+func (m *Machine) stepEngine(lockstep bool) error {
+	execs := make([]*groupExec, len(m.groups))
+	for i, g := range m.groups {
+		execs[i] = &groupExec{m: m, g: g, immediate: !lockstep}
+	}
+	run := func(x *groupExec) {
+		switch {
+		case !lockstep:
+			x.runMulti()
+		case m.cfg.Variant == variant.Balanced:
+			x.runBalanced()
+		default:
+			x.runSingleInstruction()
+		}
+	}
+	// Immediate semantics must execute groups serially (they touch memory
+	// directly); lockstep groups are independent within a step.
+	if lockstep && m.cfg.Parallel && len(m.groups) > 1 {
+		var wg sync.WaitGroup
+		for _, x := range execs {
+			wg.Add(1)
+			go func(x *groupExec) {
+				defer wg.Done()
+				run(x)
+			}(x)
+		}
+		wg.Wait()
+	} else {
+		for _, x := range execs {
+			run(x)
+		}
+	}
+
+	// Deterministic merge in group order.
+	var stepOutputs []Output
+	var events []deferredEvent
+	var routes []*prefixRoute
+	var stepCycles int64
+	for _, x := range execs {
+		if x.err != nil {
+			m.runErr = x.err
+			return x.err
+		}
+		for _, w := range x.writes {
+			m.shared.BufferWrite(w.Addr, w.Val, w.Key)
+		}
+		for _, pc := range x.contribs {
+			c := pc.c
+			if pc.route != nil {
+				routes = append(routes, pc.route)
+				c.Dest = len(routes) - 1
+			}
+			m.combiners[pc.kind].Add(c)
+		}
+		stepOutputs = append(stepOutputs, x.outputs...)
+		events = append(events, x.events...)
+
+		opsCycles := x.ops + x.scalarOps
+		var overhead int64
+		if x.fetches > 0 {
+			overhead = int64(m.cfg.PipelineDepth)
+			if x.anyShared {
+				if l := int64(m.cfg.MemLatencyBase + x.maxDist); l > overhead {
+					overhead = l
+				}
+			}
+		}
+		gc := opsCycles + overhead + x.stall
+		if gc > stepCycles {
+			stepCycles = gc
+		}
+		gi := x.g.Index
+		m.stats.PerGroupOps[gi] += opsCycles
+		m.stats.PerGroupCycles[gi] += gc
+		m.stats.Ops += x.ops
+		m.stats.ScalarOps += x.scalarOps
+		m.stats.InstrFetches += x.fetches
+		m.stats.SharedReads += x.sharedReads
+		m.stats.SharedWrites += x.sharedWrites
+		m.stats.LocalReads += x.localReads
+		m.stats.LocalWrites += x.localWrites
+		m.stats.MultiopRefs += x.multiopRefs
+		m.stats.OverheadCycles += overhead
+		m.stats.StallCycles += x.stall
+		m.stats.Barriers += x.barriers
+	}
+
+	// Commit buffered writes; resolve combining traffic.
+	conflicts := m.shared.ApplyStep()
+	if len(conflicts) > 0 {
+		return m.failf("step %d: %s", m.stats.Steps, conflicts[0])
+	}
+	for _, kind := range []isa.Op{isa.ADD, isa.AND, isa.OR, isa.MAX, isa.MIN} {
+		comb := m.combiners[kind]
+		if comb.Len() == 0 {
+			continue
+		}
+		finals, prefixes := comb.Resolve(m.shared.Peek)
+		for addr, v := range finals {
+			m.shared.Poke(addr, v)
+		}
+		for _, p := range prefixes {
+			rt := routes[p.Dest]
+			rt.flow.Vector(rt.reg)[rt.lane] = p.Prefix
+		}
+	}
+
+	// Cross-flow events: child terminations, splits and OS auto-splits.
+	// Indexed iteration: completing an auto-split container can cascade a
+	// further evChildDone for its own parent.
+	branchBefore := m.stats.FlowBranchCycles
+	for i := 0; i < len(events); i++ {
+		ev := events[i]
+		switch ev.kind {
+		case evChildDone:
+			parent := ev.flow.Parent
+			parent.LiveChildren--
+			m.stats.Joins++
+			if parent.LiveChildren == 0 && parent.State == tcf.Waiting {
+				if parent.ResumePC < 0 {
+					// Auto-split container: the fragments were the rest
+					// of its execution.
+					parent.State = tcf.Done
+					if parent.Parent != nil {
+						events = append(events, deferredEvent{kind: evChildDone, flow: parent})
+					}
+				} else {
+					parent.State = tcf.Ready
+					parent.PC = parent.ResumePC
+				}
+			}
+		case evFragmentRejoin:
+			parent := ev.flow.Parent
+			parent.LiveChildren--
+			m.stats.Joins++
+			// Fragments are scalar-identical; any of them restores the
+			// container's flow-common state and continuation point.
+			parent.SetScalars(ev.flow.Scalars())
+			parent.ResumePC = ev.pc
+			if parent.LiveChildren == 0 && parent.State == tcf.Waiting {
+				parent.State = tcf.Ready
+				parent.PC = ev.pc
+			}
+		case evAutoSplit:
+			m.stats.AutoSplits++
+			offset := 0
+			frags := sched.Fragment(ev.thick, m.cfg.AutoSplitThreshold)
+			ev.flow.LiveChildren = len(frags)
+			for _, size := range frags {
+				g := m.leastLoadedGroup()
+				child := m.newFlow(ev.flow.PC, size, g)
+				child.Parent = ev.flow
+				child.SetScalars(ev.flow.Scalars())
+				child.IsFragment = true
+				child.TidOffset = offset
+				child.TotalThickness = ev.thick
+				offset += size
+				m.stats.FlowBranchCycles += int64(isa.NumSRegs)
+			}
+		case evSplit:
+			m.stats.Splits++
+			for _, arm := range ev.arms {
+				g := m.leastLoadedGroup()
+				child := m.newFlow(arm.pc, arm.thick, g)
+				child.Parent = ev.flow
+				child.SetScalars(ev.flow.Scalars())
+				// Flow branch cost (Table 1): the TCF variants copy the
+				// R common registers into the child, O(R); the XMT-style
+				// multi-instruction model spawns thread contexts in
+				// parallel, O(1).
+				if m.cfg.Variant == variant.MultiInstruction {
+					m.stats.FlowBranchCycles++
+				} else {
+					m.stats.FlowBranchCycles += int64(isa.NumSRegs)
+				}
+			}
+		}
+	}
+	stepCycles += m.stats.FlowBranchCycles - branchBefore
+
+	// Task rotation: preempt at quantum boundaries, drop finished flows,
+	// promote pending tasks (including displacing barrier-blocked
+	// residents so queued tasks can reach the barrier).
+	switchBefore := m.stats.TaskSwitchCycles
+	m.preemptGroups()
+	m.compactGroups()
+	stepCycles += m.stats.TaskSwitchCycles - switchBefore
+
+	// Barrier release: only when no flow anywhere can still run toward
+	// the barrier and at least one is blocked at a BAR.
+	if !m.anyReadyAnywhere() {
+		for _, f := range m.flows {
+			if f.State == tcf.Blocked {
+				f.State = tcf.Ready
+			}
+		}
+	}
+
+	if stepCycles == 0 {
+		stepCycles = 1
+	}
+	m.stats.Cycles += stepCycles
+	m.stats.Steps++
+
+	if m.cfg.TraceEnabled {
+		rec := &StepRecord{Step: m.stats.Steps - 1, Cycles: stepCycles,
+			GroupCycles: make([]int64, len(m.groups))}
+		for _, x := range execs {
+			rec.GroupCycles[x.g.Index] = x.ops + x.scalarOps + x.stall
+			rec.Slices = append(rec.Slices, x.slices...)
+		}
+		m.trace = append(m.trace, rec)
+	}
+
+	// Deterministic output ordering within the step: by flow id, then by
+	// emission order.
+	sort.SliceStable(stepOutputs, func(i, j int) bool { return stepOutputs[i].Flow < stepOutputs[j].Flow })
+	m.output = append(m.output, stepOutputs...)
+
+	// Liveness: if nothing can ever run again, fail loudly.
+	if m.liveFlows() > 0 && !m.anyReadyAnywhere() {
+		return m.failf("step %d: deadlock: live flows but none ready (missing JOIN?)", m.stats.Steps)
+	}
+	return nil
+}
+
+func (m *Machine) anyReadyAnywhere() bool {
+	for _, f := range m.flows {
+		if f.State == tcf.Ready {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- per-group engines ----
+
+// runSingleInstruction executes one TCF instruction of every resident ready
+// flow (the Single-instruction variant, and the thread variants where every
+// flow is a thickness-1 thread; Figures 7, 10, 11, 12).
+func (x *groupExec) runSingleInstruction() {
+	for slot, f := range x.g.Resident {
+		if f.State != tcf.Ready || x.err != nil {
+			continue
+		}
+		if f.Mode == tcf.NUMA {
+			x.execNUMABunch(f, slot, f.Bunch)
+		} else if in, ok := x.fetch(f); ok {
+			x.execWhole(f, slot, in)
+		}
+	}
+}
+
+// runBalanced executes at most BalancedBound operation slices per step,
+// continuing partially executed TCF instructions across steps (Figure 8).
+// Each flow advances by at most one instruction per step.
+func (x *groupExec) runBalanced() {
+	budget := x.m.cfg.BalancedBound
+	n := len(x.g.Resident)
+	if n == 0 {
+		return
+	}
+	start := x.g.rrStart % n
+	x.g.rrStart++
+	for k := 0; k < n; k++ {
+		slot := (start + k) % n
+		f := x.g.Resident[slot]
+		if budget <= 0 || x.err != nil {
+			break
+		}
+		if f.State != tcf.Ready {
+			continue
+		}
+		if f.Mode == tcf.NUMA {
+			n := f.Bunch
+			if n > budget {
+				n = budget
+			}
+			budget -= x.execNUMABunch(f, slot, n)
+			continue
+		}
+		in, ok := x.fetch(f)
+		if !ok {
+			continue
+		}
+		if !sliceable(f, in) {
+			// Atomic instructions complete in one step; charge their
+			// full width against the budget.
+			x.execWhole(f, slot, in)
+			budget -= width(f, in)
+			continue
+		}
+		w := width(f, in)
+		remaining := w - f.Offset
+		n := remaining
+		if n > budget {
+			n = budget
+		}
+		x.record(f, slot, in, f.Offset, n, false)
+		for i := f.Offset; i < f.Offset+n; i++ {
+			x.execLane(f, in, i, 0)
+		}
+		x.ops += int64(n)
+		budget -= n
+		f.Offset += n
+		if f.Offset >= w {
+			f.Offset = 0
+			f.PC++
+		}
+	}
+}
+
+// runMulti is the XMT-style engine: each flow executes up to
+// MultiInstrWindow instructions with immediate memory semantics; lockstep
+// between flows is abandoned (Figure 9).
+func (x *groupExec) runMulti() {
+	for slot, f := range x.g.Resident {
+		if x.err != nil {
+			return
+		}
+		for k := 0; k < x.m.cfg.MultiInstrWindow; k++ {
+			if f.State != tcf.Ready || x.err != nil {
+				break
+			}
+			in, ok := x.fetch(f)
+			if !ok {
+				break
+			}
+			// XMT threads carry their own program counters: instruction
+			// delivery is per thread, so a thickness-u instruction costs
+			// u fetches (Table 1's Tp fetches per TCF), unlike the
+			// fetch-once TCF variants.
+			if extra := int64(width(f, in) - 1); extra > 0 {
+				x.fetches += extra
+				f.InstrFetches += extra
+			}
+			stop := in.Op.Info().Control &&
+				(in.Op == isa.SPLIT || in.Op == isa.JOIN || in.Op == isa.BAR || in.Op == isa.HALT)
+			x.execWhole(f, slot, in)
+			if stop {
+				break
+			}
+		}
+	}
+}
+
+// fetch reads the instruction at f.PC, counting the fetch; a PC past the end
+// halts the flow (falling off the program).
+func (x *groupExec) fetch(f *tcf.Flow) (isa.Instr, bool) {
+	if f.PC < 0 || f.PC >= x.m.prog.Len() {
+		x.halt(f)
+		return isa.Instr{}, false
+	}
+	x.fetches++
+	f.InstrFetches++
+	return x.m.prog.At(f.PC), true
+}
+
+// execWhole executes one fetched instruction across its full width.
+func (x *groupExec) execWhole(f *tcf.Flow, slot int, in isa.Instr) {
+	if fragmentUnsafe(f, in) {
+		x.failf("flow %d: %s funnels thread-wise data into flow-common state inside an auto-split fragment; disable AutoSplitThreshold for this program", f.ID, in.Op)
+		return
+	}
+	if in.Op.Info().Control {
+		x.record(f, slot, in, 0, 1, f.Mode == tcf.NUMA)
+		x.scalarOps++
+		x.applyControl(f, in)
+		return
+	}
+	w := width(f, in)
+	if !sliceable(f, in) {
+		x.record(f, slot, in, 0, w, f.Mode == tcf.NUMA)
+		x.execAtomic(f, in)
+		if w <= 1 {
+			x.scalarOps++
+		} else {
+			x.ops += int64(w)
+		}
+		f.PC++
+		return
+	}
+	x.record(f, slot, in, 0, w, f.Mode == tcf.NUMA)
+	for i := 0; i < w; i++ {
+		x.execLane(f, in, i, 0)
+	}
+	x.ops += int64(w)
+	f.PC++
+}
+
+// execNUMABunch executes up to n consecutive instructions of a NUMA-mode
+// flow (thickness 1/T) with sequential semantics. It returns the number of
+// instructions executed.
+func (x *groupExec) execNUMABunch(f *tcf.Flow, slot, n int) int {
+	if !x.immediate {
+		x.fwd = make(map[int64]int64)
+		defer func() { x.fwd = nil }()
+	}
+	executed := 0
+	for k := 0; k < n; k++ {
+		if f.State != tcf.Ready || x.err != nil {
+			break
+		}
+		in, ok := x.fetch(f)
+		if !ok {
+			break
+		}
+		executed++
+		if in.Op.Info().Control {
+			x.record(f, slot, in, 0, 1, true)
+			x.scalarOps++
+			x.applyControl(f, in)
+			// Mode/structure changes end the bunch; plain branches and
+			// calls continue executing consecutive instructions.
+			switch in.Op {
+			case isa.SETTHICK, isa.NUMA, isa.PRAM, isa.SPLIT, isa.BAR, isa.JOIN, isa.HALT:
+				return executed
+			}
+			continue
+		}
+		x.record(f, slot, in, 0, 1, true)
+		seq := k
+		if !sliceable(f, in) {
+			x.execAtomic(f, in)
+			x.scalarOps++
+		} else {
+			x.execLane(f, in, 0, seq)
+			x.ops++
+		}
+		f.PC++
+		// Combining operations resolve at the step boundary; end the
+		// bunch so the next instruction observes their results.
+		if !x.immediate && (in.Op.IsMultiop() || in.Op.IsMultiprefix()) {
+			return executed
+		}
+	}
+	return executed
+}
+
+// sliceable reports whether the instruction can be split lane-by-lane across
+// steps (Balanced variant).
+func sliceable(f *tcf.Flow, in isa.Instr) bool {
+	return isThick(f, in) && !in.Op.IsReduction() && in.Op != isa.PRINT
+}
+
+// record appends a trace slice when tracing is enabled.
+func (x *groupExec) record(f *tcf.Flow, slot int, in isa.Instr, first, lanes int, numa bool) {
+	if !x.m.cfg.TraceEnabled {
+		return
+	}
+	x.slices = append(x.slices, SliceExec{
+		Group: x.g.Index, Slot: slot, Flow: f.ID, PC: f.PC, Op: in.Op,
+		FirstLane: first, Lanes: lanes, NUMA: numa,
+	})
+}
+
+// rejoinFragment ends an auto-split fragment at a thickness/mode/structure
+// change: the container resumes at this PC once all fragments arrive.
+func (x *groupExec) rejoinFragment(f *tcf.Flow) {
+	f.State = tcf.Done
+	x.events = append(x.events, deferredEvent{kind: evFragmentRejoin, flow: f, pc: f.PC})
+}
+
+// halt terminates f; if it is a split child, the parent is notified at the
+// step boundary (HALT inside an arm is treated as an implicit JOIN).
+func (x *groupExec) halt(f *tcf.Flow) {
+	if f.State == tcf.Done {
+		return
+	}
+	f.State = tcf.Done
+	if f.Parent != nil {
+		x.events = append(x.events, deferredEvent{kind: evChildDone, flow: f})
+	}
+}
+
+// applyControl executes a control instruction (flow-level).
+func (x *groupExec) applyControl(f *tcf.Flow, in isa.Instr) {
+	props := x.m.cfg.Variant.Props()
+	switch in.Op {
+	case isa.JMP:
+		f.PC = in.Target
+	case isa.BEQZ:
+		if f.Scalar(in.Ra) == 0 {
+			f.PC = in.Target
+		} else {
+			f.PC++
+		}
+	case isa.BNEZ:
+		if f.Scalar(in.Ra) != 0 {
+			f.PC = in.Target
+		} else {
+			f.PC++
+		}
+	case isa.CALL:
+		f.Call(f.PC + 1)
+		f.PC = in.Target
+	case isa.RET:
+		if pc, ok := f.Ret(); ok {
+			f.PC = pc
+		} else {
+			x.halt(f)
+		}
+	case isa.SETTHICK:
+		if !props.VariableThickness {
+			x.failf("flow %d: SETTHICK unsupported by the %s variant (fixed thread set)", f.ID, x.m.cfg.Variant)
+			return
+		}
+		if f.IsFragment {
+			x.rejoinFragment(f)
+			return
+		}
+		t := in.Imm
+		if !in.HasImm {
+			t = f.Scalar(in.Ra)
+		}
+		if t < 0 {
+			x.failf("flow %d: SETTHICK to negative thickness %d", f.ID, t)
+			return
+		}
+		if err := f.SetThickness(int(t)); err != nil {
+			x.failf("%v", err)
+			return
+		}
+		f.PC++
+		// OS-level splitting of overly thick flows (Section 3.3): the
+		// continuation runs as threshold-sized fragments on the
+		// least-loaded groups; this flow completes when they all halt.
+		if th := x.m.cfg.AutoSplitThreshold; th > 0 && int(t) > th && props.ControlParallel {
+			f.State = tcf.Waiting
+			f.ResumePC = -1 // sentinel: finish (do not resume) at join
+			x.events = append(x.events, deferredEvent{kind: evAutoSplit, flow: f, thick: int(t)})
+		}
+	case isa.NUMA:
+		if !props.NUMAOperation {
+			x.failf("flow %d: NUMA mode unsupported by the %s variant", f.ID, x.m.cfg.Variant)
+			return
+		}
+		if f.IsFragment {
+			x.rejoinFragment(f)
+			return
+		}
+		b := in.Imm
+		if !in.HasImm {
+			b = f.Scalar(in.Ra)
+		}
+		if b < 1 {
+			x.failf("flow %d: NUMA bunch length %d must be >= 1", f.ID, b)
+			return
+		}
+		if err := f.EnterNUMA(int(b)); err != nil {
+			x.failf("%v", err)
+			return
+		}
+		f.PC++
+	case isa.PRAM:
+		if !props.NUMAOperation {
+			x.failf("flow %d: PRAM mode switch unsupported by the %s variant", f.ID, x.m.cfg.Variant)
+			return
+		}
+		if f.IsFragment {
+			x.rejoinFragment(f)
+			return
+		}
+		f.LeavePRAM()
+		f.PC++
+	case isa.SPLIT:
+		if !props.ControlParallel {
+			x.failf("flow %d: SPLIT unsupported by the %s variant (no control parallelism)", f.ID, x.m.cfg.Variant)
+			return
+		}
+		if f.IsFragment {
+			// A parallel statement must execute once for the whole flow:
+			// rejoin and let the container run it.
+			x.rejoinFragment(f)
+			return
+		}
+		ev := deferredEvent{kind: evSplit, flow: f}
+		for _, arm := range in.Arms {
+			t := arm.ThickImm
+			if arm.Thick != isa.RegNone {
+				t = f.Scalar(arm.Thick)
+			}
+			if t < 0 {
+				x.failf("flow %d: SPLIT arm with negative thickness %d", f.ID, t)
+				return
+			}
+			ev.arms = append(ev.arms, armSpec{thick: int(t), pc: arm.Target})
+		}
+		f.State = tcf.Waiting
+		f.ResumePC = f.PC + 1
+		f.LiveChildren = len(ev.arms)
+		x.events = append(x.events, ev)
+	case isa.JOIN:
+		x.halt(f)
+	case isa.BAR:
+		f.State = tcf.Blocked
+		f.PC++
+		x.barriers++
+	case isa.HALT:
+		x.halt(f)
+	default:
+		x.failf("flow %d: unhandled control op %s", f.ID, in.Op)
+	}
+}

@@ -1,0 +1,350 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"tcfpram/internal/isa"
+	"tcfpram/internal/mem"
+	"tcfpram/internal/multiop"
+	"tcfpram/internal/tcf"
+	"tcfpram/internal/variant"
+)
+
+// Group is one physical pipeline: Tp TCF processor slots sharing a local
+// memory block. Resident holds the flows in the TCF storage buffer; Pending
+// queues flows (tasks) beyond the buffer capacity.
+type Group struct {
+	Index    int
+	Local    *mem.Local
+	Resident []*tcf.Flow
+	Pending  []*tcf.Flow
+
+	// rrStart rotates the slot the Balanced engine serves first, so a
+	// thick flow cannot starve its slot-mates of the operation budget.
+	rrStart int
+}
+
+// live returns the number of not-Done resident flows.
+func (g *Group) live() int {
+	n := 0
+	for _, f := range g.Resident {
+		if f.State != tcf.Done {
+			n++
+		}
+	}
+	return n
+}
+
+// load returns resident-not-done plus pending flows (placement pressure).
+func (g *Group) load() int { return g.live() + len(g.Pending) }
+
+// Machine is one extended PRAM-NUMA machine instance.
+type Machine struct {
+	cfg  Config
+	prog *isa.Program
+
+	shared *mem.Shared
+	groups []*Group
+
+	flows      map[int]*tcf.Flow
+	homeGroup  map[int]int // flow id -> group index
+	nextFlowID int
+
+	combiners map[isa.Op]*multiop.Combiner
+
+	stats  Stats
+	output []Output
+
+	halted  bool
+	runErr  error
+	stepRec *StepRecord // current step's trace record (when tracing)
+	trace   []*StepRecord
+}
+
+// New builds a machine for cfg (normalized) with an empty program.
+func New(cfg Config) (*Machine, error) {
+	c, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:       c,
+		shared:    mem.NewShared(c.SharedWords, c.Groups, c.WritePolicy),
+		flows:     make(map[int]*tcf.Flow),
+		homeGroup: make(map[int]int),
+		combiners: map[isa.Op]*multiop.Combiner{
+			isa.ADD: multiop.NewCombiner(isa.ADD),
+			isa.AND: multiop.NewCombiner(isa.AND),
+			isa.OR:  multiop.NewCombiner(isa.OR),
+			isa.MAX: multiop.NewCombiner(isa.MAX),
+			isa.MIN: multiop.NewCombiner(isa.MIN),
+		},
+	}
+	m.stats.PerGroupOps = make([]int64, c.Groups)
+	m.stats.PerGroupCycles = make([]int64, c.Groups)
+	for i := 0; i < c.Groups; i++ {
+		m.groups = append(m.groups, &Group{Index: i, Local: mem.NewLocal(i, c.LocalWords)})
+	}
+	return m, nil
+}
+
+// Config returns the effective configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Shared exposes the shared memory (inspection, preloading workloads).
+func (m *Machine) Shared() *mem.Shared { return m.shared }
+
+// LocalMem exposes group g's local memory.
+func (m *Machine) LocalMem(g int) *mem.Local { return m.groups[g].Local }
+
+// Stats returns the accumulated statistics.
+func (m *Machine) Stats() *Stats { return &m.stats }
+
+// Outputs returns the PRINT/PRINTS records in deterministic order.
+func (m *Machine) Outputs() []Output { return m.output }
+
+// Trace returns the recorded step trace (TraceEnabled configs only).
+func (m *Machine) Trace() []*StepRecord { return m.trace }
+
+// Flows returns all flows ever created, sorted by id.
+func (m *Machine) Flows() []*tcf.Flow {
+	out := make([]*tcf.Flow, 0, len(m.flows))
+	for _, f := range m.flows {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Flow returns the flow with the given id, or nil.
+func (m *Machine) Flow(id int) *tcf.Flow { return m.flows[id] }
+
+// LoadProgram installs p and preloads its data segments into shared memory.
+func (m *Machine) LoadProgram(p *isa.Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for _, d := range p.Data {
+		if err := m.shared.Load(d.Addr, d.Words); err != nil {
+			return fmt.Errorf("machine: loading %s: %w", p.Name, err)
+		}
+	}
+	m.prog = p
+	return nil
+}
+
+// Program returns the loaded program.
+func (m *Machine) Program() *isa.Program { return m.prog }
+
+// newFlow allocates a flow and registers it on group g (resident if a slot
+// is free, otherwise pending).
+func (m *Machine) newFlow(pc, thickness, g int) *tcf.Flow {
+	f := tcf.New(m.nextFlowID, pc, thickness)
+	m.nextFlowID++
+	m.flows[f.ID] = f
+	m.placeFlow(f, g)
+	m.stats.FlowsCreated++
+	if live := m.liveFlows(); live > m.stats.MaxLiveFlows {
+		m.stats.MaxLiveFlows = live
+	}
+	return f
+}
+
+func (m *Machine) placeFlow(f *tcf.Flow, g int) {
+	grp := m.groups[g]
+	f.Home = g
+	m.homeGroup[f.ID] = g
+	if len(grp.Resident) < m.cfg.ProcsPerGroup {
+		grp.Resident = append(grp.Resident, f)
+	} else {
+		grp.Pending = append(grp.Pending, f)
+	}
+}
+
+// leastLoadedGroup picks the group with minimum load (ties: lowest index),
+// the horizontal allocation rule of Section 4.
+func (m *Machine) leastLoadedGroup() int {
+	best, bestLoad := 0, int(^uint(0)>>1)
+	for i, g := range m.groups {
+		if l := g.load(); l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
+// liveFlows counts flows not yet Done.
+func (m *Machine) liveFlows() int {
+	n := 0
+	for _, f := range m.flows {
+		if f.State != tcf.Done {
+			n++
+		}
+	}
+	return n
+}
+
+// preemptGroups rotates one ready resident flow per group back to the
+// pending queue when the time-slice quantum expires, giving queued tasks a
+// turn — preemptive time-shared multitasking with TCFs as tasks.
+func (m *Machine) preemptGroups() {
+	q := m.cfg.TimeSliceSteps
+	if q <= 0 || m.stats.Steps == 0 || m.stats.Steps%q != 0 {
+		return
+	}
+	for _, g := range m.groups {
+		if len(g.Pending) == 0 {
+			continue
+		}
+		for i, f := range g.Resident {
+			if f.State != tcf.Ready {
+				continue
+			}
+			g.Resident = append(g.Resident[:i], g.Resident[i+1:]...)
+			g.Pending = append(g.Pending, f)
+			m.stats.TaskSwitches++
+			if m.cfg.Variant.Props().FixedThreads {
+				m.stats.TaskSwitchCycles += int64(m.cfg.ProcsPerGroup)
+			}
+			break
+		}
+	}
+}
+
+// compactGroups drops Done flows from the TCF buffers and promotes pending
+// flows into freed slots — the zero-cost task switch of the TCF variants
+// (Table 1): rotating the TCF storage buffer costs no cycles.
+func (m *Machine) compactGroups() {
+	for _, g := range m.groups {
+		keep := g.Resident[:0]
+		for _, f := range g.Resident {
+			if f.State != tcf.Done {
+				keep = append(keep, f)
+			}
+		}
+		g.Resident = keep
+		for len(g.Resident) < m.cfg.ProcsPerGroup && len(g.Pending) > 0 {
+			g.Resident = append(g.Resident, g.Pending[0])
+			g.Pending = g.Pending[1:]
+			m.noteTaskSwitch()
+		}
+		// Flows parked at a barrier (or waiting on children) do not
+		// execute; displace them so queued ready tasks can run — without
+		// this, a barrier across an oversubscribed task set deadlocks
+		// (blocked flows hold every slot while the tasks that must still
+		// reach the barrier sit in the queue).
+		for pendingReady(g.Pending) {
+			idx := -1
+			for i, f := range g.Resident {
+				if f.State == tcf.Blocked || f.State == tcf.Waiting {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				break
+			}
+			displaced := g.Resident[idx]
+			next := g.Pending[0]
+			g.Pending = append(g.Pending[1:], displaced)
+			g.Resident[idx] = next
+			m.noteTaskSwitch()
+		}
+	}
+}
+
+// pendingReady reports whether any queued flow could execute.
+func pendingReady(pending []*tcf.Flow) bool {
+	for _, f := range pending {
+		if f.State == tcf.Ready {
+			return true
+		}
+	}
+	return false
+}
+
+// noteTaskSwitch accounts one task rotation: free for TCF variants, O(1)
+// for XMT spawning, a full Tp-context switch for the thread machines
+// (Table 1).
+func (m *Machine) noteTaskSwitch() {
+	m.stats.TaskSwitches++
+	if m.cfg.Variant.Props().FixedThreads {
+		m.stats.TaskSwitchCycles += int64(m.cfg.ProcsPerGroup)
+	} else if m.cfg.Variant == variant.MultiInstruction {
+		m.stats.TaskSwitchCycles++
+	}
+}
+
+// Boot creates the initial flow population for the configured variant:
+//
+//   - TCF variants (SingleInstruction, Balanced, MultiInstruction): one flow
+//     of thickness 1 at the program entry (Section 2.2: a program starts
+//     with a flow of thickness one).
+//   - Thread variants (SingleOperation, ConfigurableSingleOperation): P*Tp
+//     flows of thickness 1, one per slot; flow id = global thread id.
+//   - FixedThickness: one flow of the fixed vector width on group 0.
+func (m *Machine) Boot() error {
+	if m.prog == nil {
+		return fmt.Errorf("machine: Boot before LoadProgram")
+	}
+	if len(m.flows) != 0 {
+		return fmt.Errorf("machine: already booted")
+	}
+	entry := m.prog.Entry()
+	switch {
+	case m.cfg.Variant.Props().FixedThreads:
+		for g := 0; g < m.cfg.Groups; g++ {
+			for s := 0; s < m.cfg.ProcsPerGroup; s++ {
+				m.newFlow(entry, 1, g)
+			}
+		}
+	case m.cfg.Variant == variant.FixedThickness:
+		m.newFlow(entry, m.cfg.VectorWidth, 0)
+	default:
+		m.newFlow(entry, 1, 0)
+	}
+	return nil
+}
+
+// Done reports whether every flow has terminated (or the machine errored).
+func (m *Machine) Done() bool {
+	if m.halted || m.runErr != nil {
+		return true
+	}
+	if len(m.flows) == 0 {
+		return false
+	}
+	return m.liveFlows() == 0
+}
+
+// Err returns the runtime error that stopped the machine, if any.
+func (m *Machine) Err() error { return m.runErr }
+
+// Run boots (if needed) and steps the machine until completion. It returns
+// the final statistics.
+func (m *Machine) Run() (*Stats, error) {
+	if len(m.flows) == 0 {
+		if err := m.Boot(); err != nil {
+			return nil, err
+		}
+	}
+	for !m.Done() {
+		if m.stats.Steps >= m.cfg.MaxSteps {
+			m.runErr = fmt.Errorf("machine: exceeded MaxSteps=%d (livelock?)", m.cfg.MaxSteps)
+			break
+		}
+		if err := m.Step(); err != nil {
+			m.runErr = err
+			break
+		}
+	}
+	return &m.stats, m.runErr
+}
+
+// failf records a runtime error and stops the machine.
+func (m *Machine) failf(format string, args ...any) error {
+	err := fmt.Errorf("machine: "+format, args...)
+	m.runErr = err
+	return err
+}

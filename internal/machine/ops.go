@@ -1,0 +1,428 @@
+package machine
+
+import (
+	"fmt"
+
+	"tcfpram/internal/isa"
+	"tcfpram/internal/mem"
+	"tcfpram/internal/multiop"
+	"tcfpram/internal/tcf"
+)
+
+// aluEval computes a binary ALU operation. Division and modulo by zero yield
+// zero (the simulated ALU is trap-free). Shifts clamp to [0,63].
+func aluEval(op isa.Op, a, b int64) int64 {
+	switch op {
+	case isa.ADD:
+		return a + b
+	case isa.SUB:
+		return a - b
+	case isa.MUL:
+		return a * b
+	case isa.DIV:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case isa.MOD:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case isa.AND:
+		return a & b
+	case isa.OR:
+		return a | b
+	case isa.XOR:
+		return a ^ b
+	case isa.SHL:
+		return a << clampShift(b)
+	case isa.SHR:
+		return a >> clampShift(b)
+	case isa.MIN:
+		if a < b {
+			return a
+		}
+		return b
+	case isa.MAX:
+		if a > b {
+			return a
+		}
+		return b
+	case isa.SEQ:
+		return b2i(a == b)
+	case isa.SNE:
+		return b2i(a != b)
+	case isa.SLT:
+		return b2i(a < b)
+	case isa.SLE:
+		return b2i(a <= b)
+	case isa.SGT:
+		return b2i(a > b)
+	case isa.SGE:
+		return b2i(a >= b)
+	}
+	panic(fmt.Sprintf("machine: aluEval on %s", op))
+}
+
+func clampShift(b int64) uint {
+	if b < 0 {
+		return 0
+	}
+	if b > 63 {
+		return 63
+	}
+	return uint(b)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// isThick reports whether the instruction executes one operation per lane of
+// the flow (as opposed to a single flow-level operation).
+func isThick(f *tcf.Flow, in isa.Instr) bool {
+	switch in.Op.Info().Args {
+	case isa.ArgsDImm, isa.ArgsD:
+		return in.Rd.IsVector()
+	case isa.ArgsDA, isa.ArgsDAB, isa.ArgsDABC, isa.ArgsDMem, isa.ArgsDMemB:
+		return in.Rd.IsVector()
+	case isa.ArgsMemB: // ST, STL, multioperations
+		// Multioperations are inherently per-thread: every implicit
+		// thread contributes, even when both operands are flow-common.
+		if in.Op.IsMultiop() {
+			return true
+		}
+		return in.Ra.IsVector() || in.Rb.IsVector()
+	case isa.ArgsSV: // reductions read every lane
+		return true
+	case isa.ArgsSrc:
+		return in.Op == isa.PRINT && !in.HasImm && in.Ra.IsVector()
+	}
+	return false
+}
+
+// width returns the number of operation slices the instruction occupies for
+// this flow: Lanes() for thick instructions, 1 for flow-level ones.
+func width(f *tcf.Flow, in isa.Instr) int {
+	if isThick(f, in) {
+		return f.Lanes()
+	}
+	return 1
+}
+
+// laneVal reads operand r for lane i: scalars broadcast, vector reads beyond
+// the lane count (possible only for flow-level instructions on thin flows)
+// yield zero.
+func laneVal(f *tcf.Flow, r isa.Reg, i int) int64 {
+	if r.IsScalar() {
+		return f.Scalar(r)
+	}
+	v := f.Vector(r)
+	if i >= len(v) {
+		return 0
+	}
+	return v[i]
+}
+
+// fragmentUnsafe reports whether an instruction cannot execute correctly in
+// an auto-split fragment: anything funnelling thread-wise data into the
+// flow-common scalar state would act on the fragment's lanes only
+// (reductions, and scalar-destination operations with thread-wise sources —
+// the lane-0 extract). The OS may only fragment flows whose continuation is
+// free of such instructions; the machine fails loudly otherwise.
+func fragmentUnsafe(f *tcf.Flow, in isa.Instr) bool {
+	if !f.IsFragment {
+		return false
+	}
+	if in.Op.IsReduction() {
+		return true
+	}
+	if !in.Rd.IsScalar() {
+		return false
+	}
+	switch in.Op.Info().Args {
+	case isa.ArgsDA:
+		return in.Ra.IsVector()
+	case isa.ArgsDAB:
+		return in.Ra.IsVector() || (!in.HasImm && in.Rb.IsVector())
+	case isa.ArgsDABC:
+		return in.Ra.IsVector() || in.Rb.IsVector() || in.Rc.IsVector()
+	case isa.ArgsDMem:
+		return in.Ra.IsVector()
+	}
+	return false
+}
+
+// prefixRoute records where a multiprefix result must be delivered at the
+// end of the step.
+type prefixRoute struct {
+	flow *tcf.Flow
+	reg  isa.Reg
+	lane int
+}
+
+// pendingContrib is a combining contribution gathered during the parallel
+// phase, before the global combiners see it.
+type pendingContrib struct {
+	kind  isa.Op
+	c     multiop.Contribution
+	route *prefixRoute // nil for plain multioperations
+}
+
+// eventKind tags deferred cross-flow events processed after the parallel
+// phase.
+type eventKind int
+
+const (
+	evSplit eventKind = iota
+	evChildDone
+	evAutoSplit
+	// evFragmentRejoin: an auto-split fragment reached a thickness/mode/
+	// structure change; the container resumes at that PC (with the
+	// fragment's scalar state — identical across fragments by the
+	// fragment-safety guard) once every fragment arrives.
+	evFragmentRejoin
+)
+
+type armSpec struct {
+	thick int
+	pc    int
+}
+
+type deferredEvent struct {
+	kind  eventKind
+	flow  *tcf.Flow // split parent, finished child, or auto-split victim
+	arms  []armSpec
+	thick int // evAutoSplit: the logical thickness to fragment
+	pc    int // evFragmentRejoin: where the container resumes
+}
+
+// groupExec carries the per-group execution state of one step. Groups run
+// independently (optionally on separate goroutines); their outputs are
+// merged deterministically afterwards.
+type groupExec struct {
+	m *Machine
+	g *Group
+
+	// immediate selects XMT-style memory semantics (MultiInstruction):
+	// loads see the current state, stores apply instantly.
+	immediate bool
+
+	ops       int64
+	scalarOps int64
+	fetches   int64
+
+	anyShared bool
+	maxDist   int
+	stall     int64
+
+	sharedReads  int64
+	sharedWrites int64
+	localReads   int64
+	localWrites  int64
+	multiopRefs  int64
+	barriers     int64
+
+	writes   []mem.Write
+	contribs []pendingContrib
+	events   []deferredEvent
+	outputs  []Output
+	slices   []SliceExec
+
+	// fwd is the store-to-load forwarding table of the flow currently
+	// executing a NUMA bunch (its own same-step shared stores).
+	fwd map[int64]int64
+
+	err error
+}
+
+func (x *groupExec) failf(format string, args ...any) {
+	if x.err == nil {
+		x.err = fmt.Errorf("machine: group %d: %s", x.g.Index, fmt.Sprintf(format, args...))
+	}
+}
+
+// noteShared records a shared-memory reference for the latency model.
+func (x *groupExec) noteShared(addr int64, numaMode bool) {
+	module := x.m.shared.ModuleOf(addr)
+	dist := x.m.cfg.Topology.Distance(x.g.Index, module)
+	if numaMode {
+		// NUMA-mode references stall inline: base + distance cycles.
+		x.stall += int64(x.m.cfg.MemLatencyBase + dist)
+		return
+	}
+	x.anyShared = true
+	if dist > x.maxDist {
+		x.maxDist = dist
+	}
+}
+
+// loadShared performs a shared-memory read with the step semantics of the
+// engine (pre-step snapshot, or immediate in XMT mode) plus store-to-load
+// forwarding of the flow's own same-step writes.
+func (x *groupExec) loadShared(f *tcf.Flow, addr int64) int64 {
+	x.sharedReads++
+	x.noteShared(addr, f.Mode == tcf.NUMA)
+	if x.immediate {
+		return x.m.shared.Peek(addr)
+	}
+	if x.fwd != nil {
+		if v, ok := x.fwd[addr]; ok {
+			return v
+		}
+	}
+	return x.m.shared.Peek(addr)
+}
+
+// storeShared buffers (or immediately applies) a shared-memory write.
+func (x *groupExec) storeShared(f *tcf.Flow, addr, val int64, lane, seq int) {
+	x.sharedWrites++
+	x.noteShared(addr, f.Mode == tcf.NUMA)
+	if x.immediate {
+		x.m.shared.Poke(addr, val)
+		return
+	}
+	x.writes = append(x.writes, mem.Write{Addr: addr, Val: val,
+		Key: mem.Key{Flow: f.ID, Thread: lane, Seq: seq}})
+	if x.fwd != nil {
+		x.fwd[addr] = val
+	}
+}
+
+// effAddr computes the effective address of a memory operand for lane i.
+func effAddr(f *tcf.Flow, in isa.Instr, i int) int64 {
+	if in.Ra == isa.RegNone {
+		return in.Imm
+	}
+	return laneVal(f, in.Ra, i) + in.Imm
+}
+
+// execLane executes lane i of an elementwise instruction.
+func (x *groupExec) execLane(f *tcf.Flow, in isa.Instr, i, seq int) {
+	switch {
+	case in.Op == isa.LDI:
+		f.SetLane(in.Rd, i, in.Imm)
+	case in.Op == isa.MOV:
+		f.SetLane(in.Rd, i, laneVal(f, in.Ra, i))
+	case in.Op == isa.NEG:
+		f.SetLane(in.Rd, i, -laneVal(f, in.Ra, i))
+	case in.Op == isa.NOT:
+		f.SetLane(in.Rd, i, ^laneVal(f, in.Ra, i))
+	case in.Op.IsBinaryALU():
+		b := in.Imm
+		if !in.HasImm {
+			b = laneVal(f, in.Rb, i)
+		}
+		f.SetLane(in.Rd, i, aluEval(in.Op, laneVal(f, in.Ra, i), b))
+	case in.Op == isa.SEL:
+		v := laneVal(f, in.Rc, i)
+		if laneVal(f, in.Ra, i) != 0 {
+			v = laneVal(f, in.Rb, i)
+		}
+		f.SetLane(in.Rd, i, v)
+	case in.Op == isa.TID:
+		if f.Mode == tcf.NUMA {
+			f.SetLane(in.Rd, i, 0)
+		} else {
+			// Fragments of an auto-split flow carry their logical
+			// thread-index offset.
+			f.SetLane(in.Rd, i, int64(f.TidOffset+i))
+		}
+	case in.Op == isa.FID:
+		f.SetLane(in.Rd, i, int64(f.ID))
+	case in.Op == isa.THICK:
+		// Report the logical thickness: a fragment answers for the whole
+		// flow it belongs to.
+		f.SetLane(in.Rd, i, int64(f.TotalThickness))
+	case in.Op == isa.GID:
+		f.SetLane(in.Rd, i, int64(x.g.Index))
+	case in.Op == isa.PID:
+		f.SetLane(in.Rd, i, int64(f.Home))
+	case in.Op == isa.NPROC:
+		f.SetLane(in.Rd, i, int64(x.m.cfg.TotalProcessors()))
+	case in.Op == isa.NGRP:
+		f.SetLane(in.Rd, i, int64(x.m.cfg.Groups))
+	case in.Op == isa.LD:
+		f.SetLane(in.Rd, i, x.loadShared(f, effAddr(f, in, i)))
+	case in.Op == isa.ST:
+		x.storeShared(f, effAddr(f, in, i), laneVal(f, in.Rb, i), i, seq)
+	case in.Op == isa.LDL:
+		x.localReads++
+		f.SetLane(in.Rd, i, x.g.Local.Read(effAddr(f, in, i)))
+	case in.Op == isa.STL:
+		x.localWrites++
+		x.g.Local.Write(effAddr(f, in, i), laneVal(f, in.Rb, i))
+	case in.Op.IsMultiop():
+		x.multiopRefs++
+		addr := effAddr(f, in, i)
+		x.noteShared(addr, f.Mode == tcf.NUMA)
+		kind := in.Op.CombineKind()
+		val := laneVal(f, in.Rb, i)
+		if x.immediate {
+			// XMT-style semantics: combine against the current state,
+			// lane order within the flow.
+			x.m.shared.Poke(addr, multiop.Apply(kind, x.m.shared.Peek(addr), val))
+			return
+		}
+		x.contribs = append(x.contribs, pendingContrib{
+			kind: kind,
+			c: multiop.Contribution{Addr: addr, Val: val,
+				Key: multiop.Key{Flow: f.ID, Thread: i, Seq: seq}},
+		})
+	case in.Op.IsMultiprefix():
+		x.multiopRefs++
+		addr := effAddr(f, in, i)
+		x.noteShared(addr, f.Mode == tcf.NUMA)
+		kind := in.Op.CombineKind()
+		val := laneVal(f, in.Rb, i)
+		if x.immediate {
+			cur := x.m.shared.Peek(addr)
+			f.SetLane(in.Rd, i, cur)
+			x.m.shared.Poke(addr, multiop.Apply(kind, cur, val))
+			return
+		}
+		x.contribs = append(x.contribs, pendingContrib{
+			kind: kind,
+			c: multiop.Contribution{Addr: addr, Val: val,
+				Key: multiop.Key{Flow: f.ID, Thread: i, Seq: seq}, WantPrefix: true},
+			route: &prefixRoute{flow: f, reg: in.Rd, lane: i},
+		})
+	default:
+		x.failf("flow %d: opcode %s has no lane semantics", f.ID, in.Op)
+	}
+}
+
+// execAtomic executes flow-level instructions: reductions, prints, and the
+// degenerate scalar forms. Control instructions are handled by the caller.
+func (x *groupExec) execAtomic(f *tcf.Flow, in isa.Instr) {
+	switch {
+	case in.Op.IsReduction():
+		kind := in.Op.CombineKind()
+		acc := multiop.Identity(kind)
+		v := f.Vector(in.Ra)
+		for _, e := range v {
+			acc = multiop.Apply(kind, acc, e)
+		}
+		f.SetScalar(in.Rd, acc)
+	case in.Op == isa.PRINT:
+		out := Output{Flow: f.ID, Step: x.m.stats.Steps}
+		switch {
+		case in.HasImm:
+			out.Values = []int64{in.Imm}
+		case in.Ra.IsScalar():
+			out.Values = []int64{f.Scalar(in.Ra)}
+		default:
+			out.Values = append([]int64(nil), f.Vector(in.Ra)...)
+		}
+		x.outputs = append(x.outputs, out)
+	case in.Op == isa.PRINTS:
+		x.outputs = append(x.outputs, Output{Flow: f.ID, Step: x.m.stats.Steps, Text: in.Sym})
+	case in.Op == isa.NOP:
+	default:
+		x.execLane(f, in, 0, 0)
+	}
+}

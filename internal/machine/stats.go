@@ -1,0 +1,80 @@
+package machine
+
+import "fmt"
+
+// Stats accumulates the measurable quantities behind Table 1 and the
+// figure-level experiments.
+type Stats struct {
+	Steps  int64 // synchronous machine steps executed
+	Cycles int64 // simulated cycles (max over groups per step, summed)
+
+	Ops          int64 // executed operation slices (data-parallel work)
+	ScalarOps    int64 // flow-level scalar operations
+	InstrFetches int64 // instruction-memory fetches
+
+	SharedReads  int64
+	SharedWrites int64
+	LocalReads   int64
+	LocalWrites  int64
+	MultiopRefs  int64 // multioperation/multiprefix participations
+
+	OverheadCycles int64 // pipeline fill + latency cycles (not doing ops)
+	StallCycles    int64 // NUMA remote-reference stalls
+
+	FlowsCreated     int64
+	Splits           int64
+	AutoSplits       int64 // OS-level fragmentations of overly thick flows
+	Joins            int64
+	FlowBranchCycles int64 // register-copy cost paid at splits (O(R) per child)
+	TaskSwitches     int64
+	TaskSwitchCycles int64
+
+	Barriers int64
+
+	MaxLiveFlows int
+
+	PerGroupOps    []int64
+	PerGroupCycles []int64
+}
+
+// Utilization returns the fraction of group-cycles spent executing operation
+// slices (the paper's processor utilization).
+func (s *Stats) Utilization() float64 {
+	groups := len(s.PerGroupCycles)
+	if groups == 0 || s.Cycles == 0 {
+		return 0
+	}
+	total := float64(s.Cycles) * float64(groups)
+	return float64(s.Ops+s.ScalarOps) / total
+}
+
+// FetchesPerInstr returns the measured instruction fetches per completed
+// operation-slice bundle — the "fetches per TCF" row of Table 1 is measured
+// per flow instead (see Flow.InstrFetches).
+func (s *Stats) FetchesPerInstr() float64 {
+	if s.Ops+s.ScalarOps == 0 {
+		return 0
+	}
+	return float64(s.InstrFetches) / float64(s.Ops+s.ScalarOps)
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("steps=%d cycles=%d ops=%d(+%d scalar) fetches=%d util=%.3f shared r/w=%d/%d local r/w=%d/%d flows=%d splits=%d",
+		s.Steps, s.Cycles, s.Ops, s.ScalarOps, s.InstrFetches, s.Utilization(),
+		s.SharedReads, s.SharedWrites, s.LocalReads, s.LocalWrites, s.FlowsCreated, s.Splits)
+}
+
+// Output is one PRINT/PRINTS record.
+type Output struct {
+	Flow   int
+	Step   int64
+	Values []int64 // PRINT: one value per lane (or a single scalar)
+	Text   string  // PRINTS
+}
+
+func (o Output) String() string {
+	if o.Text != "" {
+		return fmt.Sprintf("[flow %d @step %d] %s", o.Flow, o.Step, o.Text)
+	}
+	return fmt.Sprintf("[flow %d @step %d] %v", o.Flow, o.Step, o.Values)
+}

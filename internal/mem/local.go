@@ -1,0 +1,70 @@
+package mem
+
+import "fmt"
+
+// Local is one processor group's local memory block. NUMA-mode bunches access
+// it with immediate (sequential) semantics and unit latency; the model's
+// distance metric applies only when a group references another group's block
+// through the interconnect.
+type Local struct {
+	group int
+	words []int64
+
+	reads  int64
+	writes int64
+}
+
+// NewLocal allocates the local memory block of the given group.
+func NewLocal(group, words int) *Local {
+	if words <= 0 {
+		panic("mem: local memory size must be positive")
+	}
+	return &Local{group: group, words: make([]int64, words)}
+}
+
+// Group returns the owning processor group index.
+func (l *Local) Group() int { return l.group }
+
+// Size returns the number of words.
+func (l *Local) Size() int { return len(l.words) }
+
+// InRange reports whether addr is a valid word address.
+func (l *Local) InRange(addr int64) bool { return addr >= 0 && addr < int64(len(l.words)) }
+
+// Read returns the word at addr. Out-of-range reads return 0.
+func (l *Local) Read(addr int64) int64 {
+	l.reads++
+	if !l.InRange(addr) {
+		return 0
+	}
+	return l.words[addr]
+}
+
+// Write stores val at addr immediately. Out-of-range stores are dropped.
+func (l *Local) Write(addr, val int64) {
+	l.writes++
+	if !l.InRange(addr) {
+		return
+	}
+	l.words[addr] = val
+}
+
+// Peek reads without counting.
+func (l *Local) Peek(addr int64) int64 {
+	if !l.InRange(addr) {
+		return 0
+	}
+	return l.words[addr]
+}
+
+// Stats reports cumulative access counts.
+func (l *Local) Stats() (reads, writes int64) { return l.reads, l.writes }
+
+// Load preloads a data segment.
+func (l *Local) Load(addr int64, words []int64) error {
+	if addr < 0 || addr+int64(len(words)) > int64(len(l.words)) {
+		return fmt.Errorf("mem: local segment [%d,%d) out of range [0,%d)", addr, addr+int64(len(words)), len(l.words))
+	}
+	copy(l.words[addr:], words)
+	return nil
+}

@@ -1,0 +1,213 @@
+// Package mem implements the memory system of the extended PRAM-NUMA
+// machine: a word-addressable shared memory partitioned into P modules with
+// PRAM step semantics (reads observe the state at step start, writes are
+// buffered and resolved deterministically at step end), plus per-group local
+// memory blocks with immediate semantics for NUMA-mode execution.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Policy selects the concurrent-write resolution rule of the CRCW PRAM.
+type Policy int
+
+const (
+	// Arbitrary resolves concurrent writes to one deterministic winner:
+	// the write with the lowest (flow, thread, seq) key. The model allows
+	// any winner; fixing the lowest key keeps simulation reproducible.
+	Arbitrary Policy = iota
+	// Priority lets the lowest-keyed write win and is the classic
+	// PRIORITY CRCW rule (lower flow/thread index = higher priority).
+	Priority
+	// Common requires all concurrent writes to a word within a step to
+	// carry the same value; differing values are reported as conflicts.
+	Common
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Arbitrary:
+		return "arbitrary"
+	case Priority:
+		return "priority"
+	case Common:
+		return "common"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Key orders writes within a step. Lower keys win under Priority (and are
+// the deterministic choice under Arbitrary).
+type Key struct {
+	Flow   int // flow id
+	Thread int // thread index within the flow
+	Seq    int // issue sequence within the thread (NUMA bunches issue many)
+}
+
+// Less compares keys lexicographically.
+func (k Key) Less(o Key) bool {
+	if k.Flow != o.Flow {
+		return k.Flow < o.Flow
+	}
+	if k.Thread != o.Thread {
+		return k.Thread < o.Thread
+	}
+	return k.Seq < o.Seq
+}
+
+// Write is one buffered shared-memory store.
+type Write struct {
+	Addr int64
+	Val  int64
+	Key  Key
+}
+
+// Conflict records a Common-policy violation: two same-step writes to Addr
+// with different values.
+type Conflict struct {
+	Addr int64
+	A, B int64
+}
+
+func (c Conflict) String() string {
+	return fmt.Sprintf("common-CRCW conflict at %d: %d vs %d", c.Addr, c.A, c.B)
+}
+
+// Shared is the emulated shared memory: Words words spread over Modules
+// modules with low-order interleaving (module = addr mod Modules), the
+// standard ESM address hashing approximation.
+type Shared struct {
+	words   []int64
+	modules int
+	policy  Policy
+
+	writes []Write
+
+	// Counters.
+	reads      int64
+	writesDone int64
+	stepWrites int64
+}
+
+// NewShared allocates a shared memory of size words over modules modules.
+func NewShared(words, modules int, policy Policy) *Shared {
+	if words <= 0 {
+		panic("mem: shared memory size must be positive")
+	}
+	if modules <= 0 {
+		panic("mem: module count must be positive")
+	}
+	return &Shared{words: make([]int64, words), modules: modules, policy: policy}
+}
+
+// Size returns the number of words.
+func (s *Shared) Size() int { return len(s.words) }
+
+// Modules returns the number of memory modules.
+func (s *Shared) Modules() int { return s.modules }
+
+// Policy returns the concurrent-write policy.
+func (s *Shared) Policy() Policy { return s.policy }
+
+// ModuleOf returns the module holding addr (low-order interleaving).
+func (s *Shared) ModuleOf(addr int64) int {
+	return int(((addr % int64(s.modules)) + int64(s.modules)) % int64(s.modules))
+}
+
+// InRange reports whether addr is a valid word address.
+func (s *Shared) InRange(addr int64) bool { return addr >= 0 && addr < int64(len(s.words)) }
+
+// Read returns the word at addr as of the start of the current step.
+// Out-of-range reads return 0, like the trap-free simulated hardware.
+func (s *Shared) Read(addr int64) int64 {
+	s.reads++
+	if !s.InRange(addr) {
+		return 0
+	}
+	return s.words[addr]
+}
+
+// Peek reads without counting (for inspection and tests).
+func (s *Shared) Peek(addr int64) int64 {
+	if !s.InRange(addr) {
+		return 0
+	}
+	return s.words[addr]
+}
+
+// Poke writes immediately without buffering (program loading, tests).
+func (s *Shared) Poke(addr int64, val int64) {
+	if s.InRange(addr) {
+		s.words[addr] = val
+	}
+}
+
+// Load preloads a data segment.
+func (s *Shared) Load(addr int64, words []int64) error {
+	if addr < 0 || addr+int64(len(words)) > int64(len(s.words)) {
+		return fmt.Errorf("mem: data segment [%d,%d) out of range [0,%d)", addr, addr+int64(len(words)), len(s.words))
+	}
+	copy(s.words[addr:], words)
+	return nil
+}
+
+// BufferWrite records a store to be applied at the end of the step.
+// Out-of-range stores are dropped.
+func (s *Shared) BufferWrite(addr, val int64, key Key) {
+	if !s.InRange(addr) {
+		return
+	}
+	s.writes = append(s.writes, Write{Addr: addr, Val: val, Key: key})
+}
+
+// PendingWrites returns the number of writes buffered in the current step.
+func (s *Shared) PendingWrites() int { return len(s.writes) }
+
+// ApplyStep resolves the buffered writes of the step against the policy and
+// applies the winners. It returns the Common-policy conflicts (empty under
+// Arbitrary/Priority). The write buffer is cleared.
+func (s *Shared) ApplyStep() []Conflict {
+	if len(s.writes) == 0 {
+		return nil
+	}
+	ws := s.writes
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].Addr != ws[j].Addr {
+			return ws[i].Addr < ws[j].Addr
+		}
+		return ws[i].Key.Less(ws[j].Key)
+	})
+	var conflicts []Conflict
+	for i := 0; i < len(ws); {
+		j := i + 1
+		for j < len(ws) && ws[j].Addr == ws[i].Addr {
+			if s.policy == Common && ws[j].Val != ws[i].Val {
+				conflicts = append(conflicts, Conflict{Addr: ws[i].Addr, A: ws[i].Val, B: ws[j].Val})
+			}
+			j++
+		}
+		// Lowest key wins (deterministic Arbitrary; exact Priority).
+		s.words[ws[i].Addr] = ws[i].Val
+		s.writesDone++
+		i = j
+	}
+	s.stepWrites += int64(len(ws))
+	s.writes = s.writes[:0]
+	return conflicts
+}
+
+// Stats reports cumulative access counts.
+func (s *Shared) Stats() (reads, committedWrites, issuedWrites int64) {
+	return s.reads, s.writesDone, s.stepWrites
+}
+
+// Snapshot copies words [addr, addr+n) for inspection.
+func (s *Shared) Snapshot(addr int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.Peek(addr + int64(i))
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSharedBasics(t *testing.T) {
+	s := NewShared(64, 4, Arbitrary)
+	if s.Size() != 64 || s.Modules() != 4 {
+		t.Fatalf("bad dimensions: %d words %d modules", s.Size(), s.Modules())
+	}
+	s.Poke(5, 42)
+	if got := s.Read(5); got != 42 {
+		t.Fatalf("Read(5) = %d, want 42", got)
+	}
+	if got := s.Read(1000); got != 0 {
+		t.Fatalf("out-of-range read = %d, want 0", got)
+	}
+	if got := s.Read(-1); got != 0 {
+		t.Fatalf("negative read = %d, want 0", got)
+	}
+}
+
+func TestSharedModuleInterleaving(t *testing.T) {
+	s := NewShared(64, 4, Arbitrary)
+	for addr := int64(0); addr < 64; addr++ {
+		if got, want := s.ModuleOf(addr), int(addr%4); got != want {
+			t.Fatalf("ModuleOf(%d) = %d, want %d", addr, got, want)
+		}
+	}
+}
+
+func TestStepSemanticsReadsSeePreStepState(t *testing.T) {
+	s := NewShared(16, 2, Arbitrary)
+	s.Poke(3, 7)
+	s.BufferWrite(3, 99, Key{Flow: 0, Thread: 0})
+	if got := s.Read(3); got != 7 {
+		t.Fatalf("mid-step read = %d, want pre-step 7", got)
+	}
+	s.ApplyStep()
+	if got := s.Read(3); got != 99 {
+		t.Fatalf("post-step read = %d, want 99", got)
+	}
+}
+
+func TestArbitraryLowestKeyWins(t *testing.T) {
+	s := NewShared(16, 2, Arbitrary)
+	s.BufferWrite(4, 30, Key{Flow: 2, Thread: 0})
+	s.BufferWrite(4, 10, Key{Flow: 0, Thread: 5})
+	s.BufferWrite(4, 20, Key{Flow: 0, Thread: 9})
+	if c := s.ApplyStep(); len(c) != 0 {
+		t.Fatalf("unexpected conflicts under Arbitrary: %v", c)
+	}
+	if got := s.Peek(4); got != 10 {
+		t.Fatalf("winner = %d, want 10 (lowest key)", got)
+	}
+}
+
+func TestPrioritySeqTieBreak(t *testing.T) {
+	s := NewShared(16, 2, Priority)
+	s.BufferWrite(4, 2, Key{Flow: 1, Thread: 1, Seq: 1})
+	s.BufferWrite(4, 1, Key{Flow: 1, Thread: 1, Seq: 0})
+	s.ApplyStep()
+	if got := s.Peek(4); got != 1 {
+		t.Fatalf("winner = %d, want 1 (seq 0)", got)
+	}
+}
+
+func TestCommonConflictDetection(t *testing.T) {
+	s := NewShared(16, 2, Common)
+	s.BufferWrite(4, 5, Key{Flow: 0})
+	s.BufferWrite(4, 5, Key{Flow: 1})
+	if c := s.ApplyStep(); len(c) != 0 {
+		t.Fatalf("same-value writes must not conflict: %v", c)
+	}
+	s.BufferWrite(4, 5, Key{Flow: 0})
+	s.BufferWrite(4, 6, Key{Flow: 1})
+	c := s.ApplyStep()
+	if len(c) != 1 || c[0].Addr != 4 {
+		t.Fatalf("expected one conflict at 4, got %v", c)
+	}
+	if c[0].String() == "" {
+		t.Fatal("conflict should render")
+	}
+}
+
+func TestOutOfRangeWritesDropped(t *testing.T) {
+	s := NewShared(8, 2, Arbitrary)
+	s.BufferWrite(100, 1, Key{})
+	s.BufferWrite(-3, 1, Key{})
+	if s.PendingWrites() != 0 {
+		t.Fatalf("out-of-range writes should be dropped, have %d pending", s.PendingWrites())
+	}
+	s.ApplyStep()
+}
+
+func TestLoadSegment(t *testing.T) {
+	s := NewShared(16, 2, Arbitrary)
+	if err := s.Load(4, []int64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Snapshot(4, 3)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("snapshot = %v", got)
+	}
+	if err := s.Load(15, []int64{1, 2}); err == nil {
+		t.Fatal("expected out-of-range load error")
+	}
+	if err := s.Load(-1, []int64{1}); err == nil {
+		t.Fatal("expected negative-address load error")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s := NewShared(16, 2, Arbitrary)
+	s.Read(0)
+	s.Read(1)
+	s.BufferWrite(0, 1, Key{})
+	s.BufferWrite(0, 2, Key{Flow: 1})
+	s.ApplyStep()
+	reads, committed, issued := s.Stats()
+	if reads != 2 || committed != 1 || issued != 2 {
+		t.Fatalf("stats = %d %d %d, want 2 1 2", reads, committed, issued)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewShared(0, 1, Arbitrary) },
+		func() { NewShared(8, 0, Arbitrary) },
+		func() { NewLocal(0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Arbitrary.String() != "arbitrary" || Priority.String() != "priority" || Common.String() != "common" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Fatal("unknown policy should still render")
+	}
+}
+
+// Property: the winner of a write set is the value carried by the minimal
+// key, for every address, independent of insertion order.
+func TestResolutionMatchesMinKey(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewShared(8, 2, Arbitrary)
+		type w struct {
+			addr, val int64
+			key       Key
+		}
+		var ws []w
+		for i := 0; i < int(n%40)+1; i++ {
+			ws = append(ws, w{
+				addr: int64(rng.Intn(8)),
+				val:  int64(rng.Intn(1000)),
+				key:  Key{Flow: rng.Intn(4), Thread: rng.Intn(4), Seq: rng.Intn(4)},
+			})
+		}
+		for _, x := range ws {
+			s.BufferWrite(x.addr, x.val, x.key)
+		}
+		s.ApplyStep()
+		// Reference: min key per address. Ties on equal keys may carry
+		// different values (two flows can share a key only if the machine
+		// mis-keys writes, which the generator can produce); resolve the
+		// reference the same way the implementation sorts: stable order
+		// not guaranteed, so skip addresses with duplicate minimal keys.
+		for addr := int64(0); addr < 8; addr++ {
+			var best *w
+			dupMin := false
+			for i := range ws {
+				x := &ws[i]
+				if x.addr != addr {
+					continue
+				}
+				switch {
+				case best == nil || x.key.Less(best.key):
+					best = x
+					dupMin = false
+				case !best.key.Less(x.key): // equal keys
+					dupMin = true
+				}
+			}
+			if best == nil || dupMin {
+				continue
+			}
+			if s.Peek(addr) != best.val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: key ordering is a strict total order on distinct keys.
+func TestKeyOrdering(t *testing.T) {
+	prop := func(f1, t1, s1, f2, t2, s2 uint8) bool {
+		a := Key{Flow: int(f1 % 8), Thread: int(t1 % 8), Seq: int(s1 % 8)}
+		b := Key{Flow: int(f2 % 8), Thread: int(t2 % 8), Seq: int(s2 % 8)}
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalMemory(t *testing.T) {
+	l := NewLocal(2, 32)
+	if l.Group() != 2 || l.Size() != 32 {
+		t.Fatal("bad local dimensions")
+	}
+	l.Write(5, 11)
+	if got := l.Read(5); got != 11 {
+		t.Fatalf("local read = %d, want 11", got)
+	}
+	l.Write(100, 1) // dropped
+	if got := l.Read(100); got != 0 {
+		t.Fatalf("out-of-range local read = %d", got)
+	}
+	if err := l.Load(30, []int64{1, 2, 3}); err == nil {
+		t.Fatal("expected out-of-range local load error")
+	}
+	if err := l.Load(0, []int64{9}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Peek(0) != 9 {
+		t.Fatal("local load failed")
+	}
+	r, w := l.Stats()
+	if r != 2 || w != 2 {
+		t.Fatalf("local stats = %d %d", r, w)
+	}
+}

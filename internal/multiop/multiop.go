@@ -1,0 +1,181 @@
+// Package multiop implements the step-granular combining memory operations
+// of the (extended) PRAM-NUMA model: multioperations (all participating
+// threads of a step combine into one shared-memory word) and multiprefixes
+// (each thread additionally receives the running value before its own
+// contribution, ordered by flow id and thread index).
+//
+// The model assumes the active-memory/combining hardware of ESM machines
+// executes these with constant latency per step; this package reproduces the
+// semantics and provides a combining-tree latency estimate for the cost
+// model.
+package multiop
+
+import (
+	"fmt"
+	"sort"
+
+	"tcfpram/internal/isa"
+)
+
+// Contribution is one thread's participation in a combining operation on a
+// word during a step.
+type Contribution struct {
+	Addr int64
+	Val  int64
+	Key  Key
+	// WantPrefix marks multiprefix participants that receive the running
+	// value; plain multioperation participants set it false.
+	WantPrefix bool
+	// Dest tags where the caller wants the prefix routed (opaque to this
+	// package; the machine stores flow/thread indices here again, but the
+	// combiner just echoes it).
+	Dest int
+}
+
+// Key orders contributions: lower (Flow, Thread, Seq) combines earlier.
+// This is the deterministic ordered multiprefix of the paper's prefix(...)
+// primitive.
+type Key struct {
+	Flow   int
+	Thread int
+	Seq    int
+}
+
+// Less compares keys lexicographically.
+func (k Key) Less(o Key) bool {
+	if k.Flow != o.Flow {
+		return k.Flow < o.Flow
+	}
+	if k.Thread != o.Thread {
+		return k.Thread < o.Thread
+	}
+	return k.Seq < o.Seq
+}
+
+// Result delivers the prefix value for one WantPrefix contribution.
+type Result struct {
+	Key    Key
+	Dest   int
+	Prefix int64
+}
+
+// Combiner accumulates one step's combining traffic for a single combining
+// operator (ADD, AND, OR, MAX or MIN, expressed as the isa opcode).
+type Combiner struct {
+	kind isa.Op
+	cs   []Contribution
+}
+
+// NewCombiner returns a Combiner for the given combining operator.
+func NewCombiner(kind isa.Op) *Combiner {
+	switch kind {
+	case isa.ADD, isa.AND, isa.OR, isa.MAX, isa.MIN:
+	default:
+		panic(fmt.Sprintf("multiop: invalid combining operator %s", kind))
+	}
+	return &Combiner{kind: kind}
+}
+
+// Kind returns the combining operator.
+func (c *Combiner) Kind() isa.Op { return c.kind }
+
+// Add records a contribution.
+func (c *Combiner) Add(ct Contribution) { c.cs = append(c.cs, ct) }
+
+// Len returns the number of recorded contributions.
+func (c *Combiner) Len() int { return len(c.cs) }
+
+// Apply combines a pair under the operator.
+func (c *Combiner) Apply(a, b int64) int64 {
+	return Apply(c.kind, a, b)
+}
+
+// Apply combines a pair under the given operator.
+func Apply(kind isa.Op, a, b int64) int64 {
+	switch kind {
+	case isa.ADD:
+		return a + b
+	case isa.AND:
+		return a & b
+	case isa.OR:
+		return a | b
+	case isa.MAX:
+		if a > b {
+			return a
+		}
+		return b
+	case isa.MIN:
+		if a < b {
+			return a
+		}
+		return b
+	}
+	panic(fmt.Sprintf("multiop: invalid combining operator %s", kind))
+}
+
+// Resolve combines all contributions against the read function (pre-step
+// memory state), returning the final value per touched address and the
+// prefix results for WantPrefix contributions. The contribution order is
+// (Flow, Thread, Seq); the prefix a participant sees is the combined value
+// of the memory word and all lower-keyed contributions. The step's traffic
+// is cleared.
+func (c *Combiner) Resolve(read func(addr int64) int64) (finals map[int64]int64, prefixes []Result) {
+	if len(c.cs) == 0 {
+		return nil, nil
+	}
+	sort.Slice(c.cs, func(i, j int) bool {
+		if c.cs[i].Addr != c.cs[j].Addr {
+			return c.cs[i].Addr < c.cs[j].Addr
+		}
+		return c.cs[i].Key.Less(c.cs[j].Key)
+	})
+	finals = make(map[int64]int64)
+	for i := 0; i < len(c.cs); {
+		addr := c.cs[i].Addr
+		acc := read(addr)
+		j := i
+		for ; j < len(c.cs) && c.cs[j].Addr == addr; j++ {
+			if c.cs[j].WantPrefix {
+				prefixes = append(prefixes, Result{Key: c.cs[j].Key, Dest: c.cs[j].Dest, Prefix: acc})
+			}
+			acc = c.Apply(acc, c.cs[j].Val)
+		}
+		finals[addr] = acc
+		i = j
+	}
+	c.cs = c.cs[:0]
+	return finals, prefixes
+}
+
+// TreeLatency estimates the combining latency in cycles for n participants
+// combined by a binary combining tree inside the network/memory modules:
+// ceil(log2 n) levels, constant per step as the paper's architectures
+// assume, but exposed so ablation benches can charge it explicitly.
+func TreeLatency(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	l := 0
+	for p := 1; p < n; p <<= 1 {
+		l++
+	}
+	return l
+}
+
+// Identity returns the identity element of the combining operator, the value
+// an empty combining subtree contributes.
+func Identity(kind isa.Op) int64 {
+	switch kind {
+	case isa.ADD:
+		return 0
+	case isa.AND:
+		return -1 // all ones
+	case isa.OR:
+		return 0
+	case isa.MAX:
+		return -1 << 63
+	case isa.MIN:
+		return 1<<63 - 1
+	}
+	panic(fmt.Sprintf("multiop: invalid combining operator %s", kind))
+}

@@ -1,0 +1,200 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tcfpram/internal/topology"
+)
+
+func mesh4x4() Config { return Config{Kind: Mesh2D, Width: 4, Height: 4, LinkCapacity: 1} }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Width: 0, Height: 4}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	n, err := New(mesh4x4())
+	if err != nil || n.Size() != 16 {
+		t.Fatalf("New: %v size %d", err, n.Size())
+	}
+}
+
+func TestSinglePacketLatencyEqualsDistancePlusConstant(t *testing.T) {
+	topo := topology.NewMesh2D(4, 4)
+	for src := 0; src < 16; src++ {
+		for dst := 0; dst < 16; dst++ {
+			n, _ := New(mesh4x4())
+			n.Inject(src, dst)
+			if !n.Drain(1000) {
+				t.Fatalf("packet %d->%d stuck", src, dst)
+			}
+			p := n.Delivered()[0]
+			if p.Hops() != topo.Distance(src, dst) {
+				t.Fatalf("%d->%d hops %d, want %d", src, dst, p.Hops(), topo.Distance(src, dst))
+			}
+			// Uncontended latency: one cycle per hop plus injection and
+			// ejection cycles.
+			want := int64(topo.Distance(src, dst)) + 2
+			if p.Latency() != want {
+				t.Fatalf("%d->%d latency %d, want %d", src, dst, p.Latency(), want)
+			}
+		}
+	}
+}
+
+func TestTorusUsesWraparound(t *testing.T) {
+	n, _ := New(Config{Kind: Torus2D, Width: 4, Height: 4, LinkCapacity: 1})
+	n.Inject(0, 3) // distance 1 around the wrap
+	if !n.Drain(100) {
+		t.Fatal("stuck")
+	}
+	if got := n.Delivered()[0].Hops(); got != 1 {
+		t.Fatalf("torus hops = %d, want 1 (wraparound)", got)
+	}
+}
+
+// Property: every packet is delivered (no loss) and its hop count equals the
+// topology distance under dimension-order routing.
+func TestAllDeliveredWithExactHops(t *testing.T) {
+	topo := topology.NewMesh2D(5, 3)
+	prop := func(seed int64) bool {
+		s, err := RandomTraffic(Config{Kind: Mesh2D, Width: 5, Height: 3, LinkCapacity: 2}, 4, seed)
+		if err != nil {
+			return false
+		}
+		return s.Injected == s.Delivered && s.Dropped == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+	// Hop exactness on a fixed instance.
+	n, _ := New(Config{Kind: Mesh2D, Width: 5, Height: 3, LinkCapacity: 1})
+	n.Inject(0, 14)
+	n.Inject(14, 0)
+	n.Inject(7, 7)
+	if !n.Drain(1000) {
+		t.Fatal("stuck")
+	}
+	for _, p := range n.Delivered() {
+		if p.Hops() != topo.Distance(p.Src, p.Dst) {
+			t.Fatalf("%d->%d hops %d != distance %d", p.Src, p.Dst, p.Hops(), topo.Distance(p.Src, p.Dst))
+		}
+	}
+}
+
+func TestSelfTrafficDeliversLocally(t *testing.T) {
+	n, _ := New(mesh4x4())
+	n.Inject(5, 5)
+	if !n.Drain(10) {
+		t.Fatal("local packet stuck")
+	}
+	p := n.Delivered()[0]
+	if p.Hops() != 0 || p.Latency() != 2 {
+		t.Fatalf("local delivery hops=%d latency=%d", p.Hops(), p.Latency())
+	}
+}
+
+func TestCongestionRaisesLatency(t *testing.T) {
+	// All nodes target node 0: the ejection port serializes and average
+	// latency must exceed the uncontended average distance.
+	n, _ := New(mesh4x4())
+	for src := 1; src < 16; src++ {
+		n.Inject(src, 0)
+	}
+	if !n.Drain(10000) {
+		t.Fatal("hotspot traffic stuck")
+	}
+	s := n.Stats()
+	if s.AvgLatency <= s.AvgHops+2 {
+		t.Fatalf("hotspot latency %.2f should exceed uncontended %.2f", s.AvgLatency, s.AvgHops+2)
+	}
+}
+
+func TestLinkCapacityIncreasesThroughput(t *testing.T) {
+	slow, err := RandomTraffic(Config{Kind: Mesh2D, Width: 4, Height: 4, LinkCapacity: 1}, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := RandomTraffic(Config{Kind: Mesh2D, Width: 4, Height: 4, LinkCapacity: 4}, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Cycles >= slow.Cycles {
+		t.Fatalf("capacity 4 (%d cycles) should beat capacity 1 (%d cycles)", fast.Cycles, slow.Cycles)
+	}
+	if fast.AvgLatency >= slow.AvgLatency {
+		t.Fatalf("capacity 4 latency %.2f should beat %.2f", fast.AvgLatency, slow.AvgLatency)
+	}
+}
+
+func TestTorusBeatsMeshOnRandomTraffic(t *testing.T) {
+	m, err := RandomTraffic(Config{Kind: Mesh2D, Width: 6, Height: 6, LinkCapacity: 1}, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to, err := RandomTraffic(Config{Kind: Torus2D, Width: 6, Height: 6, LinkCapacity: 1}, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if to.AvgHops >= m.AvgHops {
+		t.Fatalf("torus hops %.2f should beat mesh %.2f", to.AvgHops, m.AvgHops)
+	}
+}
+
+func TestBoundedInjectionQueueDrops(t *testing.T) {
+	n, _ := New(Config{Kind: Mesh2D, Width: 2, Height: 2, LinkCapacity: 1, InjectionQueue: 2})
+	ok := 0
+	for i := 0; i < 10; i++ {
+		if n.Inject(0, 3) {
+			ok++
+		}
+	}
+	if ok != 2 {
+		t.Fatalf("accepted %d, want 2", ok)
+	}
+	if n.Stats().Dropped != 8 {
+		t.Fatalf("dropped = %d, want 8", n.Stats().Dropped)
+	}
+}
+
+func TestInjectPanicsOutOfRange(t *testing.T) {
+	n, _ := New(mesh4x4())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Inject(0, 99)
+}
+
+func TestStatsFields(t *testing.T) {
+	s, err := RandomTraffic(mesh4x4(), 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Injected != 8*16 || s.Delivered != s.Injected {
+		t.Fatalf("inj/del = %d/%d", s.Injected, s.Delivered)
+	}
+	if s.AvgLatency <= 0 || s.MaxLatency < int64(s.AvgLatency) || s.Throughput <= 0 {
+		t.Fatalf("bad stats: %+v", s)
+	}
+	if Mesh2D.String() != "mesh" || Torus2D.String() != "torus" {
+		t.Fatal("kind names")
+	}
+}
+
+// The Figure 1 shape: average latency grows with machine size on a mesh
+// under uniform random traffic (distance-aware network).
+func TestLatencyGrowsWithSize(t *testing.T) {
+	small, err := RandomTraffic(Config{Kind: Mesh2D, Width: 2, Height: 2, LinkCapacity: 2}, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := RandomTraffic(Config{Kind: Mesh2D, Width: 8, Height: 8, LinkCapacity: 2}, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.AvgLatency <= small.AvgLatency {
+		t.Fatalf("8x8 latency %.2f should exceed 2x2 latency %.2f", large.AvgLatency, small.AvgLatency)
+	}
+}

@@ -1,0 +1,84 @@
+package network
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Pattern generates a destination for each source node — the classic NoC
+// evaluation traffic patterns used to probe bisection bandwidth and path
+// diversity of the ESM interconnect.
+type Pattern int
+
+const (
+	// Transpose sends (x, y) -> (y, x); stresses the mesh diagonal.
+	Transpose Pattern = iota
+	// BitReversal sends node i to the bit-reversed index; adversarial for
+	// dimension-order routing.
+	BitReversal
+	// Neighbor sends to (x+1, y): nearest-neighbor, the friendliest load.
+	Neighbor
+	// Tornado sends halfway around each dimension; worst case for rings
+	// and tori.
+	Tornado
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Transpose:
+		return "transpose"
+	case BitReversal:
+		return "bit-reversal"
+	case Neighbor:
+		return "neighbor"
+	case Tornado:
+		return "tornado"
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// Patterns lists all defined traffic patterns.
+func Patterns() []Pattern { return []Pattern{Transpose, BitReversal, Neighbor, Tornado} }
+
+// Dest computes the destination of src under the pattern on a w×h geometry.
+func (p Pattern) Dest(src, w, h int) int {
+	x, y := src%w, src/w
+	switch p {
+	case Transpose:
+		// Clamp for non-square geometries.
+		nx, ny := y%w, x%h
+		return ny*w + nx
+	case BitReversal:
+		n := w * h
+		width := bits.Len(uint(n - 1))
+		if width == 0 {
+			return src
+		}
+		rev := int(bits.Reverse(uint(src)) >> (bits.UintSize - width))
+		return rev % n
+	case Neighbor:
+		return y*w + (x+1)%w
+	case Tornado:
+		return ((y+h/2)%h)*w + (x+w/2)%w
+	}
+	panic("network: unknown pattern")
+}
+
+// PatternTraffic injects perNode rounds of the pattern and drains; every
+// node sends to its pattern destination each round.
+func PatternTraffic(cfg Config, p Pattern, perNode int) (Stats, error) {
+	n, err := New(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	for round := 0; round < perNode; round++ {
+		for src := 0; src < n.Size(); src++ {
+			n.Inject(src, p.Dest(src, cfg.Width, cfg.Height))
+		}
+		n.Step()
+	}
+	if !n.Drain(int64(perNode*n.Size())*10 + 10000) {
+		return n.Stats(), fmt.Errorf("network: %s drain did not complete (%d in flight)", p, n.InFlight())
+	}
+	return n.Stats(), nil
+}

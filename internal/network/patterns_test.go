@@ -1,0 +1,98 @@
+package network
+
+import "testing"
+
+func TestPatternDestsInRange(t *testing.T) {
+	for _, p := range Patterns() {
+		for _, dims := range [][2]int{{4, 4}, {8, 8}, {5, 3}, {1, 1}, {2, 8}} {
+			w, h := dims[0], dims[1]
+			for src := 0; src < w*h; src++ {
+				d := p.Dest(src, w, h)
+				if d < 0 || d >= w*h {
+					t.Fatalf("%s on %dx%d: dest(%d) = %d out of range", p, w, h, src, d)
+				}
+			}
+		}
+		if p.String() == "" {
+			t.Fatal("pattern must render")
+		}
+	}
+}
+
+func TestTransposeOnSquare(t *testing.T) {
+	// (x,y) -> (y,x) on 4x4: node 1 = (1,0) -> (0,1) = node 4.
+	if got := Transpose.Dest(1, 4, 4); got != 4 {
+		t.Fatalf("transpose dest = %d, want 4", got)
+	}
+	if got := Transpose.Dest(5, 4, 4); got != 5 { // diagonal fixed point
+		t.Fatalf("diagonal = %d, want 5", got)
+	}
+}
+
+func TestBitReversal(t *testing.T) {
+	// 16 nodes: node 1 (0001) -> 8 (1000).
+	if got := BitReversal.Dest(1, 4, 4); got != 8 {
+		t.Fatalf("bit reversal = %d, want 8", got)
+	}
+	if got := BitReversal.Dest(0, 4, 4); got != 0 {
+		t.Fatalf("bit reversal of 0 = %d", got)
+	}
+}
+
+func TestNeighborWraps(t *testing.T) {
+	if got := Neighbor.Dest(3, 4, 4); got != 0 {
+		t.Fatalf("neighbor wrap = %d, want 0", got)
+	}
+}
+
+func TestTornadoHalfway(t *testing.T) {
+	// 4x4: (0,0) -> (2,2) = node 10.
+	if got := Tornado.Dest(0, 4, 4); got != 10 {
+		t.Fatalf("tornado = %d, want 10", got)
+	}
+}
+
+func TestPatternTrafficDelivers(t *testing.T) {
+	for _, p := range Patterns() {
+		for _, kind := range []Kind{Mesh2D, Torus2D} {
+			s, err := PatternTraffic(Config{Kind: kind, Width: 4, Height: 4, LinkCapacity: 2}, p, 8)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", p, kind, err)
+			}
+			if s.Injected != s.Delivered || s.Injected != 8*16 {
+				t.Fatalf("%s on %s: inj/del %d/%d", p, kind, s.Injected, s.Delivered)
+			}
+		}
+	}
+}
+
+func TestNeighborIsCheapestPattern(t *testing.T) {
+	cfg := Config{Kind: Torus2D, Width: 8, Height: 8, LinkCapacity: 1}
+	neighbor, err := PatternTraffic(cfg, Neighbor, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tornado, err := PatternTraffic(cfg, Tornado, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neighbor.AvgLatency >= tornado.AvgLatency {
+		t.Fatalf("neighbor latency %.2f should undercut tornado %.2f",
+			neighbor.AvgLatency, tornado.AvgLatency)
+	}
+	if neighbor.AvgHops != 1 {
+		t.Fatalf("neighbor hops = %.2f, want 1", neighbor.AvgHops)
+	}
+}
+
+func TestTornadoWorstOnTorus(t *testing.T) {
+	cfg := Config{Kind: Torus2D, Width: 8, Height: 8, LinkCapacity: 1}
+	tornado, err := PatternTraffic(cfg, Tornado, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tornado distance on an 8x8 torus is 4+4 = 8 hops for every packet.
+	if tornado.AvgHops != 8 {
+		t.Fatalf("tornado hops = %.2f, want 8", tornado.AvgHops)
+	}
+}

@@ -1,0 +1,117 @@
+// Package pipeline models the TCF-aware execution pipeline of Figure 13 at
+// slice granularity: instruction fetch (IF) and operand select (OS) happen
+// once per TCF instruction, then the instruction is held while the thickness
+// generates one data-parallel operation per cycle into the execute stages,
+// overlapping with the operations of the next resident TCF.
+//
+// The model validates the step-engine's cost law: executing a step whose
+// resident TCFs contribute N operation slices takes N + fill cycles on a
+// depth-D pipeline (fill = D), independent of how the slices are divided
+// among TCFs — because only the first instruction pays the fill and
+// back-to-back TCFs keep every stage busy. A memory reference extends the
+// drain to the reference latency when it exceeds the depth.
+package pipeline
+
+import "fmt"
+
+// Config describes the pipeline.
+type Config struct {
+	// Depth is the number of stages an operation traverses after issue
+	// (the fill/drain cost).
+	Depth int
+	// MemLatency is the shared-memory round-trip in cycles; in-flight
+	// references must return before the step can commit.
+	MemLatency int
+}
+
+// Instr is one TCF instruction to schedule: Thickness operation slices, with
+// MemRef marking shared-memory references.
+type Instr struct {
+	Flow      int
+	Thickness int
+	MemRef    bool
+}
+
+// Event records one pipeline occupancy: flow f issued slice k at the given
+// cycle.
+type Event struct {
+	Cycle int
+	Flow  int
+	Slice int
+}
+
+// Result is the outcome of scheduling one step.
+type Result struct {
+	// Cycles is the total step duration: issue cycles plus drain.
+	Cycles int
+	// IssueCycles is the number of cycles the issue stage was busy.
+	IssueCycles int
+	// Drain is the tail latency after the last issue (pipeline depth or
+	// outstanding memory latency, whichever dominates).
+	Drain int
+	// Fetches counts instruction fetches (one per TCF instruction).
+	Fetches int
+	// Events is the issue schedule (slice-per-cycle).
+	Events []Event
+}
+
+// Schedule runs the resident TCF instructions of one step through the
+// pipeline back to back and returns the timing.
+func Schedule(cfg Config, instrs []Instr) (*Result, error) {
+	if cfg.Depth < 0 || cfg.MemLatency < 0 {
+		return nil, fmt.Errorf("pipeline: negative latency parameters")
+	}
+	res := &Result{}
+	cycle := 0
+	anyMem := false
+	lastMemIssue := -1
+	for _, in := range instrs {
+		if in.Thickness < 0 {
+			return nil, fmt.Errorf("pipeline: negative thickness %d", in.Thickness)
+		}
+		res.Fetches++
+		// IF/OS overlap with the previous instruction's operation
+		// generation (the TCF storage buffer feeds the pipeline), so no
+		// issue bubble between TCFs; a zero-thickness instruction
+		// occupies the control stages only.
+		for k := 0; k < in.Thickness; k++ {
+			res.Events = append(res.Events, Event{Cycle: cycle, Flow: in.Flow, Slice: k})
+			if in.MemRef {
+				anyMem = true
+				lastMemIssue = cycle
+			}
+			cycle++
+		}
+	}
+	res.IssueCycles = cycle
+	res.Drain = cfg.Depth
+	if anyMem {
+		// The last reference returns MemLatency cycles after its issue;
+		// the step cannot commit earlier.
+		if tail := lastMemIssue + cfg.MemLatency - cycle; tail > res.Drain {
+			res.Drain = tail
+		}
+	}
+	res.Cycles = res.IssueCycles + res.Drain
+	return res, nil
+}
+
+// StepLaw is the closed-form the step engine uses: ops + max(depth,
+// memLatency when any shared reference was issued in the final memory
+// cycle). Schedule must agree with it for back-to-back slices.
+func StepLaw(cfg Config, totalOps int, anyMem bool) int {
+	drain := cfg.Depth
+	if anyMem && cfg.MemLatency-1 > drain {
+		drain = cfg.MemLatency - 1
+	}
+	return totalOps + drain
+}
+
+// Utilization returns the fraction of issue slots doing operation work
+// during the step.
+func (r *Result) Utilization() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.IssueCycles) / float64(r.Cycles)
+}

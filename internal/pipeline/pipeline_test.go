@@ -1,0 +1,151 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func cfg() Config { return Config{Depth: 4, MemLatency: 8} }
+
+func TestSingleInstructionTiming(t *testing.T) {
+	res, err := Schedule(cfg(), []Instr{{Flow: 0, Thickness: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IssueCycles != 10 || res.Drain != 4 || res.Cycles != 14 {
+		t.Fatalf("timing: %+v", res)
+	}
+	if res.Fetches != 1 {
+		t.Fatalf("fetches = %d, want 1 (fetch once per TCF)", res.Fetches)
+	}
+	if len(res.Events) != 10 {
+		t.Fatalf("events: %d", len(res.Events))
+	}
+}
+
+func TestBackToBackTCFsNoBubbles(t *testing.T) {
+	// Three TCFs of different thickness: issue cycles = total slices; the
+	// fill is paid once.
+	res, err := Schedule(cfg(), []Instr{
+		{Flow: 0, Thickness: 12},
+		{Flow: 1, Thickness: 3},
+		{Flow: 2, Thickness: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IssueCycles != 16 || res.Cycles != 20 {
+		t.Fatalf("timing: %+v", res)
+	}
+	// Every cycle 0..15 has exactly one event.
+	seen := map[int]bool{}
+	for _, e := range res.Events {
+		if seen[e.Cycle] {
+			t.Fatalf("double issue at cycle %d", e.Cycle)
+		}
+		seen[e.Cycle] = true
+	}
+	for c := 0; c < 16; c++ {
+		if !seen[c] {
+			t.Fatalf("issue bubble at cycle %d", c)
+		}
+	}
+	if res.Fetches != 3 {
+		t.Fatalf("fetches = %d", res.Fetches)
+	}
+}
+
+func TestMemoryReferenceExtendsDrain(t *testing.T) {
+	// A memory instruction issuing its last slice at cycle 3 with latency
+	// 8 holds the step until cycle 3+8 = 11: drain = 11-4 = 7 > depth 4.
+	res, err := Schedule(cfg(), []Instr{{Flow: 0, Thickness: 4, MemRef: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drain != 7 || res.Cycles != 11 {
+		t.Fatalf("mem drain: %+v", res)
+	}
+	// Long instructions hide the latency completely: drain = depth.
+	res, err = Schedule(cfg(), []Instr{
+		{Flow: 0, Thickness: 4, MemRef: true},
+		{Flow: 1, Thickness: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drain != 4 {
+		t.Fatalf("hidden latency: %+v", res)
+	}
+}
+
+func TestZeroThickness(t *testing.T) {
+	res, err := Schedule(cfg(), []Instr{{Flow: 0, Thickness: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IssueCycles != 0 || res.Cycles != 4 || res.Fetches != 1 {
+		t.Fatalf("zero thickness: %+v", res)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Schedule(Config{Depth: -1}, nil); err == nil {
+		t.Fatal("negative depth accepted")
+	}
+	if _, err := Schedule(cfg(), []Instr{{Thickness: -1}}); err == nil {
+		t.Fatal("negative thickness accepted")
+	}
+}
+
+// Property: the slice-level schedule agrees with the closed-form step law
+// whenever memory references are issued in the final instruction (the step
+// engine's conservative assumption).
+func TestScheduleMatchesStepLaw(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		var instrs []Instr
+		total := 0
+		for i := 0; i < n; i++ {
+			th := rng.Intn(10)
+			instrs = append(instrs, Instr{Flow: i, Thickness: th})
+			total += th
+		}
+		// Mark the final instruction a memory reference half the time.
+		anyMem := rng.Intn(2) == 0
+		if anyMem && instrs[n-1].Thickness > 0 {
+			instrs[n-1].MemRef = true
+		} else {
+			anyMem = false
+		}
+		res, err := Schedule(cfg(), instrs)
+		if err != nil {
+			return false
+		}
+		return res.Cycles == StepLaw(cfg(), total, anyMem)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: utilization approaches 1 as thickness grows (the amortization
+// argument of Section 3.3).
+func TestUtilizationGrowsWithThickness(t *testing.T) {
+	prev := 0.0
+	for _, th := range []int{1, 4, 16, 64, 256} {
+		res, err := Schedule(cfg(), []Instr{{Thickness: th}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := res.Utilization()
+		if u <= prev {
+			t.Fatalf("utilization not growing at thickness %d: %f <= %f", th, u, prev)
+		}
+		prev = u
+	}
+	if prev < 0.98 {
+		t.Fatalf("thickness 256 utilization %f should approach 1", prev)
+	}
+}

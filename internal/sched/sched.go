@@ -1,0 +1,139 @@
+// Package sched provides the flow-allocation policies discussed in Sections
+// 3.3 and 4: balanced partitioning of application thickness across processor
+// groups (horizontal allocation), fragmenting of overly thick flows for the
+// balanced single-instruction execution, and TCF-as-task multitask planning.
+package sched
+
+import "fmt"
+
+// Partition splits total units into parts nearly equal shares (difference at
+// most one, larger shares first). parts must be positive; total must be
+// non-negative.
+func Partition(total, parts int) []int {
+	if parts <= 0 {
+		panic("sched: parts must be positive")
+	}
+	if total < 0 {
+		panic("sched: negative total")
+	}
+	out := make([]int, parts)
+	base := total / parts
+	rem := total % parts
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// Fragment splits a flow of thickness u into fragments of at most bound
+// lanes each — the OS-level splitting of overly thick flows that the
+// balanced single-instruction execution requires (Section 3.3). A zero u
+// yields a single empty fragment.
+func Fragment(u, bound int) []int {
+	if bound <= 0 {
+		panic("sched: bound must be positive")
+	}
+	if u < 0 {
+		panic("sched: negative thickness")
+	}
+	if u == 0 {
+		return []int{0}
+	}
+	var out []int
+	for u > 0 {
+		n := bound
+		if u < bound {
+			n = u
+		}
+		out = append(out, n)
+		u -= n
+	}
+	return out
+}
+
+// HorizontalShares returns the per-group thickness shares for allocating an
+// application of thickness tApp horizontally across p groups — the
+// allocation Section 4 recommends over vertical allocation (a single
+// tApp-thick flow on one group).
+func HorizontalShares(tApp, p int) []int { return Partition(tApp, p) }
+
+// Imbalance returns max(shares) - min(shares); horizontal allocation keeps
+// this at most 1.
+func Imbalance(shares []int) int {
+	if len(shares) == 0 {
+		return 0
+	}
+	mn, mx := shares[0], shares[0]
+	for _, s := range shares[1:] {
+		if s < mn {
+			mn = s
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx - mn
+}
+
+// Makespan estimates the step makespan of executing shares of operations on
+// their groups, one TCF instruction per step per group: it is simply the
+// maximal share (the slowest group bounds the step).
+func Makespan(shares []int) int {
+	mx := 0
+	for _, s := range shares {
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// Task models one multitasking workload unit: in the extended model a task
+// is simply a TCF of some thickness; in thread machines it is a full set of
+// thread contexts.
+type Task struct {
+	ID        int
+	Thickness int
+}
+
+// SwitchCost returns the context-switch cost in cycles for rotating a task
+// in and out (Table 1): zero when tasks are TCFs held in the TCF storage
+// buffer, Tp context saves/restores when every one of the Tp thread slots
+// must be switched, and 1 for single-threaded spawn-style switching.
+type SwitchCost int
+
+const (
+	// SwitchTCF is the TCF-variant cost: rotating the TCF buffer is free.
+	SwitchTCF SwitchCost = iota
+	// SwitchThreads is the thread-machine cost: all Tp contexts move.
+	SwitchThreads
+	// SwitchSingle is the single-threaded cost: one context moves.
+	SwitchSingle
+)
+
+// Cycles evaluates the switch cost for a machine with tp thread slots.
+func (s SwitchCost) Cycles(tp int) int {
+	switch s {
+	case SwitchTCF:
+		return 0
+	case SwitchThreads:
+		return tp
+	case SwitchSingle:
+		return 1
+	}
+	panic(fmt.Sprintf("sched: unknown switch cost %d", int(s)))
+}
+
+// RoundRobinPlan simulates time-shared multitasking of tasks with a quantum
+// of steps each and returns the total switch overhead in cycles after
+// `rounds` full rounds.
+func RoundRobinPlan(tasks []Task, rounds, tp int, cost SwitchCost) int {
+	if rounds < 0 {
+		panic("sched: negative rounds")
+	}
+	switches := rounds * len(tasks)
+	return switches * cost.Cycles(tp)
+}

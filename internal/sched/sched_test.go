@@ -1,0 +1,181 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestPartitionKnown(t *testing.T) {
+	cases := []struct {
+		total, parts int
+		want         []int
+	}{
+		{10, 2, []int{5, 5}},
+		{10, 3, []int{4, 3, 3}},
+		{2, 4, []int{1, 1, 0, 0}},
+		{0, 3, []int{0, 0, 0}},
+		{7, 1, []int{7}},
+	}
+	for _, c := range cases {
+		got := Partition(c.total, c.parts)
+		if len(got) != len(c.want) {
+			t.Fatalf("Partition(%d,%d) = %v", c.total, c.parts, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Partition(%d,%d) = %v, want %v", c.total, c.parts, got, c.want)
+			}
+		}
+	}
+}
+
+// Properties: shares sum to total, imbalance <= 1, none negative.
+func TestPartitionProperties(t *testing.T) {
+	prop := func(total uint16, parts uint8) bool {
+		p := int(parts%32) + 1
+		tot := int(total % 4096)
+		shares := Partition(tot, p)
+		if sum(shares) != tot || Imbalance(shares) > 1 {
+			return false
+		}
+		for _, s := range shares {
+			if s < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragment(t *testing.T) {
+	got := Fragment(10, 4)
+	want := []int{4, 4, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Fragment(10,4) = %v", got)
+		}
+	}
+	if got := Fragment(0, 4); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Fragment(0,4) = %v", got)
+	}
+	if got := Fragment(3, 4); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Fragment(3,4) = %v", got)
+	}
+}
+
+// Properties: fragments sum to u, each within (0, bound] except the empty
+// case, and count = ceil(u/bound).
+func TestFragmentProperties(t *testing.T) {
+	prop := func(u uint16, bound uint8) bool {
+		b := int(bound%16) + 1
+		uu := int(u % 2048)
+		fr := Fragment(uu, b)
+		if sum(fr) != uu {
+			return false
+		}
+		wantCount := (uu + b - 1) / b
+		if uu == 0 {
+			wantCount = 1
+		}
+		if len(fr) != wantCount {
+			return false
+		}
+		for _, f := range fr {
+			if f > b || (f <= 0 && uu != 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Partition(1, 0) },
+		func() { Partition(-1, 2) },
+		func() { Fragment(1, 0) },
+		func() { Fragment(-1, 2) },
+		func() { SwitchCost(9).Cycles(4) },
+		func() { RoundRobinPlan(nil, -1, 4, SwitchTCF) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Horizontal allocation dominates vertical: for any application thickness,
+// makespan of horizontal shares <= makespan of vertical allocation, and it
+// is ~P times smaller for divisible loads (the Section 4 claim).
+func TestHorizontalBeatsVertical(t *testing.T) {
+	prop := func(tApp uint16, p uint8) bool {
+		groups := int(p%8) + 1
+		total := int(tApp%1024) + 1
+		horizontal := Makespan(HorizontalShares(total, groups))
+		vertical := Makespan(append([]int{total}, make([]int, groups-1)...))
+		if horizontal > vertical {
+			return false
+		}
+		// Exactly divisible: speedup exactly P.
+		if total%groups == 0 && horizontal != total/groups {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwitchCosts(t *testing.T) {
+	if SwitchTCF.Cycles(16) != 0 {
+		t.Error("TCF switch must be free")
+	}
+	if SwitchThreads.Cycles(16) != 16 {
+		t.Error("thread switch must cost Tp")
+	}
+	if SwitchSingle.Cycles(16) != 1 {
+		t.Error("single switch must cost 1")
+	}
+}
+
+func TestRoundRobinPlan(t *testing.T) {
+	tasks := []Task{{0, 8}, {1, 4}, {2, 2}}
+	if got := RoundRobinPlan(tasks, 10, 4, SwitchTCF); got != 0 {
+		t.Fatalf("TCF plan cost = %d", got)
+	}
+	if got := RoundRobinPlan(tasks, 10, 4, SwitchThreads); got != 10*3*4 {
+		t.Fatalf("thread plan cost = %d, want 120", got)
+	}
+}
+
+func TestMakespanAndImbalance(t *testing.T) {
+	if Makespan(nil) != 0 || Imbalance(nil) != 0 {
+		t.Fatal("empty cases")
+	}
+	if Makespan([]int{3, 9, 1}) != 9 {
+		t.Fatal("makespan")
+	}
+	if Imbalance([]int{3, 9, 1}) != 8 {
+		t.Fatal("imbalance")
+	}
+}

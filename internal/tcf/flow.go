@@ -1,0 +1,281 @@
+// Package tcf implements the Thick Control Flow abstraction: a control flow
+// with a program counter, a flow-level call stack, flow-common scalar state,
+// thread-wise vector state, and a dynamically varying thickness (Section
+// 2.2). Threads are only implicit — they have no program counters; the flow
+// does.
+package tcf
+
+import (
+	"fmt"
+
+	"tcfpram/internal/isa"
+)
+
+// Mode is the execution mode of a flow in the extended PRAM-NUMA model.
+type Mode int
+
+const (
+	// PRAM mode: per step the flow executes one TCF instruction consisting
+	// of Thickness identical data-parallel operations.
+	PRAM Mode = iota
+	// NUMA mode: thickness 1/T — per step the flow executes up to Bunch
+	// consecutive instructions with a single implicit thread, against the
+	// group's local memory.
+	NUMA
+)
+
+func (m Mode) String() string {
+	if m == NUMA {
+		return "NUMA"
+	}
+	return "PRAM"
+}
+
+// State tracks the flow lifecycle.
+type State int
+
+const (
+	// Ready flows execute in the next step.
+	Ready State = iota
+	// Waiting flows are split parents suspended until all children join.
+	Waiting
+	// Blocked flows wait at a global barrier.
+	Blocked
+	// Done flows have halted (HALT or JOIN).
+	Done
+)
+
+func (s State) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Waiting:
+		return "waiting"
+	case Blocked:
+		return "blocked"
+	case Done:
+		return "done"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Flow is one thick control flow.
+type Flow struct {
+	ID int
+	PC int
+
+	Mode      Mode
+	Thickness int // PRAM-mode thickness; >= 0 (0 = zero data-parallel lanes)
+	Bunch     int // NUMA-mode consecutive instructions per step
+
+	State State
+
+	// Register state. Scalar registers are the flow-common registers; the
+	// thread-wise bank is allocated lazily per register and sized to the
+	// current thickness.
+	scalars [isa.NumSRegs]int64
+	vectors [isa.NumVRegs][]int64
+
+	// Flow-level call stack (Section 2.2: a call stack is related to each
+	// parallel control flow, not to each thread).
+	CallStack []int
+
+	// Split/join bookkeeping.
+	Parent       *Flow
+	LiveChildren int
+	ResumePC     int // parent's continuation after the split
+
+	// Placement: global index of the TCF processor hosting the flow.
+	Home int
+
+	// Fragment support (Section 3.3: the OS splits overly thick flows into
+	// balanced fragments allocated to different TCF processors).
+	//
+	// IsFragment marks a machine-made fragment of a thicker logical flow;
+	// TidOffset is the fragment's first logical implicit-thread index, and
+	// TotalThickness the logical thickness of the whole flow (what the
+	// THICK instruction reports). For ordinary flows TidOffset is 0 and
+	// TotalThickness equals Thickness.
+	IsFragment     bool
+	TidOffset      int
+	TotalThickness int
+
+	// Balanced-variant progress: number of thread slices of the current
+	// instruction already executed (0 = instruction not started).
+	Offset int
+
+	// InstrFetches counts instruction-memory fetches performed on behalf
+	// of this flow (Table 1's "fetches per TCF").
+	InstrFetches int64
+
+	// RegWordsPeak tracks the maximum register-file words ever held
+	// (scalars + allocated vector words) for Table 1's registers/thread.
+	RegWordsPeak int64
+}
+
+// New returns a Ready PRAM-mode flow with the given id, entry PC and
+// thickness.
+func New(id, pc, thickness int) *Flow {
+	if thickness < 0 {
+		panic("tcf: negative thickness")
+	}
+	f := &Flow{ID: id, PC: pc, Thickness: thickness, TotalThickness: thickness, Bunch: 1, ResumePC: -1}
+	f.noteRegWords()
+	return f
+}
+
+// Lanes returns the number of data-parallel lanes an instruction of this
+// flow executes: Thickness in PRAM mode, 1 in NUMA mode.
+func (f *Flow) Lanes() int {
+	if f.Mode == NUMA {
+		return 1
+	}
+	return f.Thickness
+}
+
+// Scalar returns the value of scalar register r.
+func (f *Flow) Scalar(r isa.Reg) int64 {
+	if !r.IsScalar() {
+		panic(fmt.Sprintf("tcf: Scalar(%s) on non-scalar register", r))
+	}
+	return f.scalars[r.Index()]
+}
+
+// SetScalar stores v into scalar register r.
+func (f *Flow) SetScalar(r isa.Reg, v int64) {
+	if !r.IsScalar() {
+		panic(fmt.Sprintf("tcf: SetScalar(%s) on non-scalar register", r))
+	}
+	f.scalars[r.Index()] = v
+}
+
+// Scalars returns a copy of the scalar register bank (for split inheritance
+// and inspection).
+func (f *Flow) Scalars() [isa.NumSRegs]int64 { return f.scalars }
+
+// SetScalars replaces the scalar bank (split inheritance: the child flow
+// receives the parent's R common registers — the O(R) flow-branch cost of
+// Table 1).
+func (f *Flow) SetScalars(s [isa.NumSRegs]int64) { f.scalars = s }
+
+// Vector returns the thread-wise bank of register r sized to the current
+// lane count, allocating (zeroed) on first use.
+func (f *Flow) Vector(r isa.Reg) []int64 {
+	if !r.IsVector() {
+		panic(fmt.Sprintf("tcf: Vector(%s) on non-vector register", r))
+	}
+	lanes := f.Lanes()
+	v := f.vectors[r.Index()]
+	if len(v) < lanes {
+		nv := make([]int64, lanes)
+		copy(nv, v)
+		f.vectors[r.Index()] = nv
+		f.noteRegWords()
+	}
+	return f.vectors[r.Index()][:lanes]
+}
+
+// VectorAllocated reports whether register r has lanes allocated (used by
+// register accounting without forcing allocation).
+func (f *Flow) VectorAllocated(r isa.Reg) bool {
+	return r.IsVector() && f.vectors[r.Index()] != nil
+}
+
+// Lane reads lane i of register r, treating scalar registers as broadcast
+// (every lane observes the common value) — the paper's improved utilization
+// of data-parallel execution: identical values need no replication.
+func (f *Flow) Lane(r isa.Reg, i int) int64 {
+	if r.IsScalar() {
+		return f.scalars[r.Index()]
+	}
+	return f.Vector(r)[i]
+}
+
+// SetLane writes lane i of register r. Writing a scalar register from lane
+// context stores the common value (last writer within the deterministic lane
+// order wins; the engine restricts this to single-lane or reduction cases).
+func (f *Flow) SetLane(r isa.Reg, i int, v int64) {
+	if r.IsScalar() {
+		f.scalars[r.Index()] = v
+		return
+	}
+	f.Vector(r)[i] = v
+}
+
+// SetThickness switches the flow to PRAM mode with the given thickness.
+// Vector registers keep their first min(old,new) lanes and zero-extend — the
+// nested thick block semantics where a new thickness opens a fresh lane
+// space.
+func (f *Flow) SetThickness(t int) error {
+	if t < 0 {
+		return fmt.Errorf("tcf: flow %d: negative thickness %d", f.ID, t)
+	}
+	f.Mode = PRAM
+	f.Thickness = t
+	f.TotalThickness = t
+	for r := range f.vectors {
+		if f.vectors[r] != nil && len(f.vectors[r]) < t {
+			nv := make([]int64, t)
+			copy(nv, f.vectors[r])
+			f.vectors[r] = nv
+		}
+	}
+	f.noteRegWords()
+	return nil
+}
+
+// EnterNUMA switches the flow to NUMA mode with bunch length b (thickness
+// 1/b in the paper's notation).
+func (f *Flow) EnterNUMA(b int) error {
+	if b < 1 {
+		return fmt.Errorf("tcf: flow %d: NUMA bunch length %d must be >= 1", f.ID, b)
+	}
+	f.Mode = NUMA
+	f.Bunch = b
+	return nil
+}
+
+// LeavePRAM returns the flow to PRAM mode with thickness 1 (the PRAM
+// instruction).
+func (f *Flow) LeavePRAM() {
+	f.Mode = PRAM
+	f.Thickness = 1
+	f.TotalThickness = 1
+}
+
+// Call pushes the return address onto the flow-level call stack.
+func (f *Flow) Call(returnPC int) { f.CallStack = append(f.CallStack, returnPC) }
+
+// Ret pops the return address; it reports false on empty stack (treated as
+// flow termination by the engine).
+func (f *Flow) Ret() (int, bool) {
+	if len(f.CallStack) == 0 {
+		return 0, false
+	}
+	pc := f.CallStack[len(f.CallStack)-1]
+	f.CallStack = f.CallStack[:len(f.CallStack)-1]
+	return pc, true
+}
+
+// RegWords returns the current register-file words held by the flow.
+func (f *Flow) RegWords() int64 {
+	n := int64(isa.NumSRegs)
+	for r := range f.vectors {
+		n += int64(len(f.vectors[r]))
+	}
+	return n
+}
+
+func (f *Flow) noteRegWords() {
+	if w := f.RegWords(); w > f.RegWordsPeak {
+		f.RegWordsPeak = w
+	}
+}
+
+func (f *Flow) String() string {
+	mode := f.Mode.String()
+	if f.Mode == NUMA {
+		mode = fmt.Sprintf("NUMA/%d", f.Bunch)
+	}
+	return fmt.Sprintf("flow %d @%d thick=%d %s %s", f.ID, f.PC, f.Thickness, mode, f.State)
+}

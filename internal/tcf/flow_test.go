@@ -1,0 +1,246 @@
+package tcf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tcfpram/internal/isa"
+)
+
+func TestNewFlowDefaults(t *testing.T) {
+	f := New(3, 10, 8)
+	if f.ID != 3 || f.PC != 10 || f.Thickness != 8 {
+		t.Fatalf("bad flow: %v", f)
+	}
+	if f.Mode != PRAM || f.State != Ready || f.Bunch != 1 {
+		t.Fatalf("bad defaults: %v", f)
+	}
+	if f.Lanes() != 8 {
+		t.Fatalf("Lanes() = %d, want 8", f.Lanes())
+	}
+}
+
+func TestNewNegativeThicknessPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, 0, -1)
+}
+
+func TestScalarRegisters(t *testing.T) {
+	f := New(0, 0, 4)
+	f.SetScalar(isa.S(3), 42)
+	if got := f.Scalar(isa.S(3)); got != 42 {
+		t.Fatalf("scalar = %d", got)
+	}
+	s := f.Scalars()
+	if s[3] != 42 {
+		t.Fatal("Scalars copy wrong")
+	}
+	s[3] = 7 // must not affect the flow
+	if f.Scalar(isa.S(3)) != 42 {
+		t.Fatal("Scalars must copy")
+	}
+	var bank [isa.NumSRegs]int64
+	bank[0] = 9
+	f.SetScalars(bank)
+	if f.Scalar(isa.S(0)) != 9 || f.Scalar(isa.S(3)) != 0 {
+		t.Fatal("SetScalars failed")
+	}
+}
+
+func TestScalarAccessorsPanicOnVector(t *testing.T) {
+	f := New(0, 0, 4)
+	for _, fn := range []func(){
+		func() { f.Scalar(isa.V(0)) },
+		func() { f.SetScalar(isa.V(0), 1) },
+		func() { f.Vector(isa.S(0)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestVectorLazyAllocationAndLanes(t *testing.T) {
+	f := New(0, 0, 4)
+	if f.VectorAllocated(isa.V(5)) {
+		t.Fatal("V5 should not be allocated yet")
+	}
+	v := f.Vector(isa.V(5))
+	if len(v) != 4 {
+		t.Fatalf("lanes = %d, want 4", len(v))
+	}
+	v[2] = 99
+	if f.Lane(isa.V(5), 2) != 99 {
+		t.Fatal("lane write lost")
+	}
+	if !f.VectorAllocated(isa.V(5)) {
+		t.Fatal("V5 should be allocated")
+	}
+}
+
+func TestScalarBroadcastInLaneRead(t *testing.T) {
+	f := New(0, 0, 4)
+	f.SetScalar(isa.S(1), 77)
+	for i := 0; i < 4; i++ {
+		if f.Lane(isa.S(1), i) != 77 {
+			t.Fatalf("lane %d did not see broadcast scalar", i)
+		}
+	}
+	f.SetLane(isa.S(1), 2, 5)
+	if f.Scalar(isa.S(1)) != 5 {
+		t.Fatal("SetLane on scalar should store common value")
+	}
+}
+
+func TestSetThicknessPreservesPrefixAndZeroExtends(t *testing.T) {
+	f := New(0, 0, 4)
+	v := f.Vector(isa.V(0))
+	for i := range v {
+		v[i] = int64(i + 1)
+	}
+	if err := f.SetThickness(8); err != nil {
+		t.Fatal(err)
+	}
+	v = f.Vector(isa.V(0))
+	if len(v) != 8 {
+		t.Fatalf("lanes = %d", len(v))
+	}
+	for i := 0; i < 4; i++ {
+		if v[i] != int64(i+1) {
+			t.Fatalf("lane %d lost: %d", i, v[i])
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if v[i] != 0 {
+			t.Fatalf("lane %d not zeroed: %d", i, v[i])
+		}
+	}
+	// Shrink keeps storage but exposes fewer lanes.
+	if err := f.SetThickness(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Vector(isa.V(0))) != 2 {
+		t.Fatal("shrink did not reduce lanes")
+	}
+	if err := f.SetThickness(-1); err == nil {
+		t.Fatal("negative thickness must error")
+	}
+}
+
+func TestZeroThicknessFlow(t *testing.T) {
+	f := New(0, 0, 0)
+	if f.Lanes() != 0 {
+		t.Fatalf("Lanes() = %d, want 0", f.Lanes())
+	}
+	if len(f.Vector(isa.V(0))) != 0 {
+		t.Fatal("zero-thickness vector must have no lanes")
+	}
+}
+
+func TestNUMAMode(t *testing.T) {
+	f := New(0, 0, 16)
+	if err := f.EnterNUMA(4); err != nil {
+		t.Fatal(err)
+	}
+	if f.Mode != NUMA || f.Bunch != 4 {
+		t.Fatalf("bad NUMA state: %v", f)
+	}
+	if f.Lanes() != 1 {
+		t.Fatalf("NUMA lanes = %d, want 1", f.Lanes())
+	}
+	if err := f.EnterNUMA(0); err == nil {
+		t.Fatal("bunch 0 must error")
+	}
+	f.LeavePRAM()
+	if f.Mode != PRAM || f.Thickness != 1 {
+		t.Fatalf("LeavePRAM: %v", f)
+	}
+}
+
+func TestCallStack(t *testing.T) {
+	f := New(0, 0, 1)
+	if _, ok := f.Ret(); ok {
+		t.Fatal("empty stack must report false")
+	}
+	f.Call(10)
+	f.Call(20)
+	pc, ok := f.Ret()
+	if !ok || pc != 20 {
+		t.Fatalf("Ret = %d,%v", pc, ok)
+	}
+	pc, ok = f.Ret()
+	if !ok || pc != 10 {
+		t.Fatalf("Ret = %d,%v", pc, ok)
+	}
+}
+
+func TestRegWordsAccounting(t *testing.T) {
+	f := New(0, 0, 8)
+	base := f.RegWords()
+	if base != int64(isa.NumSRegs) {
+		t.Fatalf("fresh flow holds %d words, want %d", base, isa.NumSRegs)
+	}
+	f.Vector(isa.V(0))
+	f.Vector(isa.V(1))
+	if got := f.RegWords(); got != base+16 {
+		t.Fatalf("after two vectors: %d, want %d", got, base+16)
+	}
+	if f.RegWordsPeak < base+16 {
+		t.Fatalf("peak %d too low", f.RegWordsPeak)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	f := New(7, 3, 12)
+	if s := f.String(); !strings.Contains(s, "flow 7") || !strings.Contains(s, "thick=12") {
+		t.Fatalf("bad String: %q", s)
+	}
+	f.EnterNUMA(4)
+	if s := f.String(); !strings.Contains(s, "NUMA/4") {
+		t.Fatalf("bad NUMA String: %q", s)
+	}
+	for _, st := range []State{Ready, Waiting, Blocked, Done, State(9)} {
+		if st.String() == "" {
+			t.Fatal("state must render")
+		}
+	}
+	if PRAM.String() != "PRAM" || NUMA.String() != "NUMA" {
+		t.Fatal("mode names")
+	}
+}
+
+// Property: growing thickness never loses existing lane values.
+func TestThicknessGrowthMonotone(t *testing.T) {
+	prop := func(a, b uint8) bool {
+		t0 := int(a%16) + 1
+		t1 := t0 + int(b%16)
+		f := New(0, 0, t0)
+		v := f.Vector(isa.V(3))
+		for i := range v {
+			v[i] = int64(i * 3)
+		}
+		if err := f.SetThickness(t1); err != nil {
+			return false
+		}
+		v = f.Vector(isa.V(3))
+		for i := 0; i < t0; i++ {
+			if v[i] != int64(i*3) {
+				return false
+			}
+		}
+		return len(v) == t1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package topology provides the distance metric of the (extended) PRAM-NUMA
+// model: the relative distance between a processor group and a target memory
+// block, which the distance-aware interconnection network turns into routing
+// latency (latency proportional to distance, Section 2.1 / 3.1).
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology defines a distance metric over n processor groups, where group i
+// is co-located with memory block i.
+type Topology interface {
+	// Name identifies the topology family and size.
+	Name() string
+	// Size returns the number of groups/blocks.
+	Size() int
+	// Distance returns the hop distance from group g to memory block m.
+	// Distance(g, g) == 0.
+	Distance(g, m int) int
+	// Diameter returns the maximum distance between any pair.
+	Diameter() int
+}
+
+func checkSize(n int) {
+	if n <= 0 {
+		panic("topology: size must be positive")
+	}
+}
+
+func checkPair(t Topology, g, m int) {
+	if g < 0 || g >= t.Size() || m < 0 || m >= t.Size() {
+		panic(fmt.Sprintf("topology: pair (%d,%d) out of range for size %d", g, m, t.Size()))
+	}
+}
+
+// Ring is a bidirectional ring of n nodes.
+type Ring struct{ n int }
+
+// NewRing returns a ring topology of n nodes.
+func NewRing(n int) Ring { checkSize(n); return Ring{n} }
+
+func (r Ring) Name() string { return fmt.Sprintf("ring(%d)", r.n) }
+func (r Ring) Size() int    { return r.n }
+
+func (r Ring) Distance(g, m int) int {
+	checkPair(r, g, m)
+	d := g - m
+	if d < 0 {
+		d = -d
+	}
+	if alt := r.n - d; alt < d {
+		d = alt
+	}
+	return d
+}
+
+func (r Ring) Diameter() int { return r.n / 2 }
+
+// Mesh2D is a w×h mesh without wraparound; node i sits at (i mod w, i / w).
+type Mesh2D struct{ w, h int }
+
+// NewMesh2D returns a w×h mesh.
+func NewMesh2D(w, h int) Mesh2D {
+	checkSize(w)
+	checkSize(h)
+	return Mesh2D{w, h}
+}
+
+// NewSquareMesh returns the smallest square-ish mesh with at least n nodes
+// that has exactly n nodes when n is a perfect square; otherwise it returns
+// a 1×n mesh degenerating to a line. Prefer explicit dimensions.
+func NewSquareMesh(n int) Mesh2D {
+	checkSize(n)
+	s := int(math.Sqrt(float64(n)))
+	if s*s == n {
+		return Mesh2D{s, s}
+	}
+	return Mesh2D{n, 1}
+}
+
+func (m Mesh2D) Name() string     { return fmt.Sprintf("mesh(%dx%d)", m.w, m.h) }
+func (m Mesh2D) Size() int        { return m.w * m.h }
+func (m Mesh2D) Dims() (w, h int) { return m.w, m.h }
+
+// Coord returns the (x, y) position of node i.
+func (m Mesh2D) Coord(i int) (x, y int) { return i % m.w, i / m.w }
+
+func (m Mesh2D) Distance(g, t int) int {
+	checkPair(m, g, t)
+	gx, gy := m.Coord(g)
+	tx, ty := m.Coord(t)
+	return abs(gx-tx) + abs(gy-ty)
+}
+
+func (m Mesh2D) Diameter() int { return (m.w - 1) + (m.h - 1) }
+
+// Torus2D is a w×h mesh with wraparound links in both dimensions.
+type Torus2D struct{ w, h int }
+
+// NewTorus2D returns a w×h torus.
+func NewTorus2D(w, h int) Torus2D {
+	checkSize(w)
+	checkSize(h)
+	return Torus2D{w, h}
+}
+
+func (t Torus2D) Name() string     { return fmt.Sprintf("torus(%dx%d)", t.w, t.h) }
+func (t Torus2D) Size() int        { return t.w * t.h }
+func (t Torus2D) Dims() (w, h int) { return t.w, t.h }
+
+// Coord returns the (x, y) position of node i.
+func (t Torus2D) Coord(i int) (x, y int) { return i % t.w, i / t.w }
+
+func (t Torus2D) Distance(g, m int) int {
+	checkPair(t, g, m)
+	gx, gy := t.Coord(g)
+	mx, my := t.Coord(m)
+	dx := abs(gx - mx)
+	if alt := t.w - dx; alt < dx {
+		dx = alt
+	}
+	dy := abs(gy - my)
+	if alt := t.h - dy; alt < dy {
+		dy = alt
+	}
+	return dx + dy
+}
+
+func (t Torus2D) Diameter() int { return t.w/2 + t.h/2 }
+
+// Hypercube is a binary d-cube of 2^d nodes; distance is Hamming distance.
+type Hypercube struct{ d int }
+
+// NewHypercube returns a hypercube of dimension d (2^d nodes).
+func NewHypercube(d int) Hypercube {
+	if d < 0 || d > 30 {
+		panic("topology: hypercube dimension out of range")
+	}
+	return Hypercube{d}
+}
+
+func (h Hypercube) Name() string { return fmt.Sprintf("hypercube(%d)", h.d) }
+func (h Hypercube) Size() int    { return 1 << h.d }
+
+func (h Hypercube) Distance(g, m int) int {
+	checkPair(h, g, m)
+	x := uint32(g ^ m)
+	c := 0
+	for x != 0 {
+		c += int(x & 1)
+		x >>= 1
+	}
+	return c
+}
+
+func (h Hypercube) Diameter() int { return h.d }
+
+// Uniform treats every remote block as equidistant at distance d (a crossbar
+// or an idealized high-bandwidth network); local access is distance 0.
+type Uniform struct {
+	n int
+	d int
+}
+
+// NewUniform returns a uniform-distance topology of n nodes at distance d.
+func NewUniform(n, d int) Uniform {
+	checkSize(n)
+	if d < 0 {
+		panic("topology: negative uniform distance")
+	}
+	return Uniform{n, d}
+}
+
+func (u Uniform) Name() string { return fmt.Sprintf("uniform(%d,d=%d)", u.n, u.d) }
+func (u Uniform) Size() int    { return u.n }
+
+func (u Uniform) Distance(g, m int) int {
+	checkPair(u, g, m)
+	if g == m {
+		return 0
+	}
+	return u.d
+}
+
+func (u Uniform) Diameter() int {
+	if u.n == 1 {
+		return 0
+	}
+	return u.d
+}
+
+// AverageDistance returns the mean pairwise distance of t, a useful summary
+// for calibrating latency models.
+func AverageDistance(t Topology) float64 {
+	n := t.Size()
+	if n == 1 {
+		return 0
+	}
+	sum := 0
+	for g := 0; g < n; g++ {
+		for m := 0; m < n; m++ {
+			sum += t.Distance(g, m)
+		}
+	}
+	return float64(sum) / float64(n*n)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,156 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func all() []Topology {
+	return []Topology{
+		NewRing(1), NewRing(2), NewRing(7), NewRing(8),
+		NewMesh2D(1, 1), NewMesh2D(4, 4), NewMesh2D(3, 5),
+		NewTorus2D(4, 4), NewTorus2D(5, 3),
+		NewHypercube(0), NewHypercube(3), NewHypercube(5),
+		NewUniform(1, 4), NewUniform(8, 4), NewUniform(8, 0),
+	}
+}
+
+// Metric axioms: identity, symmetry, non-negativity, bounded by diameter.
+func TestMetricAxioms(t *testing.T) {
+	for _, topo := range all() {
+		n := topo.Size()
+		maxSeen := 0
+		for g := 0; g < n; g++ {
+			if d := topo.Distance(g, g); d != 0 {
+				t.Errorf("%s: Distance(%d,%d) = %d, want 0", topo.Name(), g, g, d)
+			}
+			for m := 0; m < n; m++ {
+				d := topo.Distance(g, m)
+				if d < 0 {
+					t.Errorf("%s: negative distance %d", topo.Name(), d)
+				}
+				if d != topo.Distance(m, g) {
+					t.Errorf("%s: asymmetric distance (%d,%d)", topo.Name(), g, m)
+				}
+				if d > topo.Diameter() {
+					t.Errorf("%s: distance %d exceeds diameter %d", topo.Name(), d, topo.Diameter())
+				}
+				if d > maxSeen {
+					maxSeen = d
+				}
+			}
+		}
+		if n > 1 && maxSeen != topo.Diameter() {
+			t.Errorf("%s: max distance %d != diameter %d", topo.Name(), maxSeen, topo.Diameter())
+		}
+	}
+}
+
+// Triangle inequality (all implemented metrics are graph distances).
+func TestTriangleInequality(t *testing.T) {
+	for _, topo := range all() {
+		n := topo.Size()
+		if n > 16 {
+			continue
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				for c := 0; c < n; c++ {
+					if topo.Distance(a, c) > topo.Distance(a, b)+topo.Distance(b, c) {
+						t.Fatalf("%s: triangle violated (%d,%d,%d)", topo.Name(), a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKnownDistances(t *testing.T) {
+	r := NewRing(8)
+	if r.Distance(0, 4) != 4 || r.Distance(0, 7) != 1 || r.Distance(2, 6) != 4 {
+		t.Error("ring distances wrong")
+	}
+	m := NewMesh2D(4, 4)
+	if m.Distance(0, 15) != 6 || m.Distance(0, 3) != 3 || m.Distance(5, 10) != 2 {
+		t.Error("mesh distances wrong")
+	}
+	to := NewTorus2D(4, 4)
+	if to.Distance(0, 3) != 1 || to.Distance(0, 15) != 2 {
+		t.Error("torus distances wrong")
+	}
+	h := NewHypercube(3)
+	if h.Distance(0, 7) != 3 || h.Distance(1, 2) != 2 || h.Distance(5, 5) != 0 {
+		t.Error("hypercube distances wrong")
+	}
+	u := NewUniform(8, 4)
+	if u.Distance(0, 1) != 4 || u.Distance(3, 3) != 0 {
+		t.Error("uniform distances wrong")
+	}
+}
+
+func TestSquareMesh(t *testing.T) {
+	m := NewSquareMesh(16)
+	if w, h := m.Dims(); w != 4 || h != 4 {
+		t.Fatalf("square mesh dims = %dx%d", w, h)
+	}
+	m = NewSquareMesh(6)
+	if m.Size() != 6 {
+		t.Fatalf("non-square fallback size = %d", m.Size())
+	}
+}
+
+func TestTorusWraparoundNeverFartherThanMesh(t *testing.T) {
+	prop := func(a, b uint8) bool {
+		mesh := NewMesh2D(6, 6)
+		tor := NewTorus2D(6, 6)
+		g, m := int(a)%36, int(b)%36
+		return tor.Distance(g, m) <= mesh.Distance(g, m)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAverageDistance(t *testing.T) {
+	if got := AverageDistance(NewUniform(1, 5)); got != 0 {
+		t.Fatalf("avg of singleton = %f", got)
+	}
+	got := AverageDistance(NewUniform(4, 6))
+	want := 6.0 * 12 / 16 // 12 off-diagonal pairs of 16
+	if got != want {
+		t.Fatalf("avg uniform = %f, want %f", got, want)
+	}
+	if AverageDistance(NewMesh2D(4, 4)) <= 0 {
+		t.Fatal("mesh average distance must be positive")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewRing(0) },
+		func() { NewMesh2D(0, 3) },
+		func() { NewTorus2D(3, 0) },
+		func() { NewHypercube(-1) },
+		func() { NewHypercube(31) },
+		func() { NewUniform(0, 1) },
+		func() { NewUniform(4, -1) },
+		func() { NewRing(4).Distance(0, 9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, topo := range all() {
+		if topo.Name() == "" {
+			t.Error("empty topology name")
+		}
+	}
+}

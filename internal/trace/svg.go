@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"tcfpram/internal/machine"
+)
+
+// SVG renders the execution schedule as a scalable vector graphic in the
+// style of the paper's Figures 7-12: time (steps) on the X axis, one band
+// per processor group on the Y axis, one rectangle per executed slice whose
+// height is proportional to its lane count, colored by flow.
+func SVG(m *machine.Machine) string {
+	recs := m.Trace()
+	groups := m.Config().Groups
+
+	// Vertical scale: the largest per-step per-group lane total.
+	maxLanes := 1
+	for _, rec := range recs {
+		perGroup := map[int]int{}
+		for _, s := range rec.Slices {
+			n := s.Lanes
+			if n < 1 {
+				n = 1
+			}
+			perGroup[s.Group] += n
+		}
+		for _, n := range perGroup {
+			if n > maxLanes {
+				maxLanes = n
+			}
+		}
+	}
+
+	const (
+		cellW    = 26
+		laneH    = 6
+		bandGap  = 24
+		marginX  = 70
+		marginY  = 30
+		labelPad = 8
+	)
+	bandH := maxLanes*laneH + bandGap
+	width := marginX + len(recs)*cellW + 20
+	height := marginY + groups*bandH + 20
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="16">schedule: %d steps, %d groups (height = lanes per slice)</text>`+"\n",
+		marginX, len(recs), groups)
+
+	for g := 0; g < groups; g++ {
+		bandTop := marginY + g*bandH
+		fmt.Fprintf(&b, `<text x="%d" y="%d">G%d</text>`+"\n", labelPad, bandTop+12, g)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ccc"/>`+"\n",
+			marginX, bandTop+bandH-bandGap/2, marginX+len(recs)*cellW, bandTop+bandH-bandGap/2)
+	}
+	for i, rec := range recs {
+		x := marginX + i*cellW
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#888">%d</text>`+"\n", x, marginY-6, rec.Step)
+		yOff := map[int]int{}
+		for _, s := range rec.Slices {
+			n := s.Lanes
+			if n < 1 {
+				n = 1
+			}
+			bandTop := marginY + s.Group*bandH
+			y := bandTop + yOff[s.Group]*laneH
+			yOff[s.Group] += n
+			h := n * laneH
+			fmt.Fprintf(&b,
+				`<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#333" stroke-width="0.5"><title>step %d: flow %d %s x%d</title></rect>`+"\n",
+				x, y, cellW-2, h, flowColor(s.Flow), rec.Step, s.Flow, s.Op, s.Lanes)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// flowColor assigns a stable, readable color per flow id.
+func flowColor(flow int) string {
+	palette := []string{
+		"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1",
+		"#76b7b2", "#edc948", "#ff9da7", "#9c755f", "#bab0ac",
+	}
+	return palette[((flow%len(palette))+len(palette))%len(palette)]
+}

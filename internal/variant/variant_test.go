@@ -1,0 +1,176 @@
+package variant
+
+import "testing"
+
+func TestKindsCoverAll(t *testing.T) {
+	ks := Kinds()
+	if len(ks) != int(numKinds) {
+		t.Fatalf("Kinds() has %d entries, want %d", len(ks), numKinds)
+	}
+	seen := map[Kind]bool{}
+	for _, k := range ks {
+		if !k.Valid() {
+			t.Fatalf("invalid kind %v", k)
+		}
+		if seen[k] {
+			t.Fatalf("duplicate kind %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestStringAndParseRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("expected error")
+	}
+	aliases := map[string]Kind{
+		"tcf": SingleInstruction, "xmt": MultiInstruction, "esm": SingleOperation,
+		"pram-numa": ConfigurableSingleOperation, "simd": FixedThickness, "bal": Balanced,
+	}
+	for a, want := range aliases {
+		got, err := ParseKind(a)
+		if err != nil || got != want {
+			t.Fatalf("alias %q = %v, %v", a, got, err)
+		}
+	}
+}
+
+// Table 1 qualitative rows: PRAM / NUMA / MIMD operation per variant.
+func TestTable1QualitativeRows(t *testing.T) {
+	type row struct{ pram, numa, mimd bool }
+	want := map[Kind]row{
+		SingleInstruction:           {true, true, true},
+		Balanced:                    {true, true, true},
+		MultiInstruction:            {false, true, true},
+		SingleOperation:             {true, false, true},
+		ConfigurableSingleOperation: {true, true, true},
+		FixedThickness:              {false, false, false},
+	}
+	for k, w := range want {
+		p := k.Props()
+		if p.PRAMOperation != w.pram || p.NUMAOperation != w.numa || p.MIMD != w.mimd {
+			t.Errorf("%v: PRAM/NUMA/MIMD = %v/%v/%v, want %v/%v/%v",
+				k, p.PRAMOperation, p.NUMAOperation, p.MIMD, w.pram, w.numa, w.mimd)
+		}
+	}
+}
+
+func TestLockstepAndControlParallel(t *testing.T) {
+	for _, k := range Kinds() {
+		p := k.Props()
+		if k == MultiInstruction && p.Lockstep {
+			t.Error("multi-instruction must not be lockstep (XMT loses PRAM synchronicity)")
+		}
+		if k != MultiInstruction && !p.Lockstep {
+			t.Errorf("%v must be lockstep", k)
+		}
+		wantCP := k == SingleInstruction || k == Balanced || k == MultiInstruction
+		if p.ControlParallel != wantCP {
+			t.Errorf("%v ControlParallel = %v, want %v", k, p.ControlParallel, wantCP)
+		}
+	}
+}
+
+func TestFixedThreadsFlags(t *testing.T) {
+	for _, k := range Kinds() {
+		want := k == SingleOperation || k == ConfigurableSingleOperation
+		if got := k.Props().FixedThreads; got != want {
+			t.Errorf("%v FixedThreads = %v, want %v", k, got, want)
+		}
+	}
+}
+
+// Table 1 cost rows, evaluated analytically.
+func TestTable1AnalyticCosts(t *testing.T) {
+	const P, Tp, R, B = 4, 4, 16, 4
+	for _, k := range Kinds() {
+		row := Analytic(k, P, Tp, R, B)
+		if row.NumTCFs != P*Tp {
+			t.Errorf("%v NumTCFs = %d, want %d", k, row.NumTCFs, P*Tp)
+		}
+		switch k {
+		case SingleInstruction, Balanced:
+			if !row.NumThreadsUnbounded {
+				t.Errorf("%v must have unbounded threads", k)
+			}
+			if !row.RegistersPerThreadShared {
+				t.Errorf("%v must share registers across thickness", k)
+			}
+			if got := row.TaskSwitchCost(Tp, R); got != 0 {
+				t.Errorf("%v task switch = %d, want 0", k, got)
+			}
+			if got := row.FlowBranchCost(R); got != R {
+				t.Errorf("%v flow branch = %d, want O(R)=%d", k, got, R)
+			}
+		default:
+			if row.NumThreadsUnbounded {
+				t.Errorf("%v threads must be bounded", k)
+			}
+			if row.NumThreads != P*Tp {
+				t.Errorf("%v NumThreads = %d, want %d", k, row.NumThreads, P*Tp)
+			}
+			if got := row.FlowBranchCost(R); got != 1 {
+				t.Errorf("%v flow branch = %d, want O(1)", k, got)
+			}
+		}
+	}
+	// Fetches per TCF across a thickness-u instruction.
+	for _, u := range []int{1, 3, 4, 5, 16, 17} {
+		if got := Analytic(SingleInstruction, P, Tp, R, B).FetchesPerTCF(u); got != 1 {
+			t.Errorf("single-instruction fetches(%d) = %d, want 1", u, got)
+		}
+		want := (u + B - 1) / B
+		if got := Analytic(Balanced, P, Tp, R, B).FetchesPerTCF(u); got != want {
+			t.Errorf("balanced fetches(%d) = %d, want %d", u, got, want)
+		}
+		if got := Analytic(SingleOperation, P, Tp, R, B).FetchesPerTCF(u); got != Tp {
+			t.Errorf("single-operation fetches(%d) = %d, want Tp=%d", u, got, Tp)
+		}
+	}
+	if got := Analytic(Balanced, P, Tp, R, B).FetchesPerTCF(0); got != 1 {
+		t.Errorf("balanced fetches(0) = %d, want 1", got)
+	}
+	// Thread-machine task switch is O(Tp); multi-instruction (XMT) spawns
+	// from a master thread at O(1).
+	if got := Analytic(SingleOperation, P, Tp, R, B).TaskSwitchCost(Tp, R); got != Tp {
+		t.Errorf("single-operation task switch = %d, want %d", got, Tp)
+	}
+	if got := Analytic(MultiInstruction, P, Tp, R, B).TaskSwitchCost(Tp, R); got != 1 {
+		t.Errorf("multi-instruction task switch = %d, want 1", got)
+	}
+}
+
+func TestPropsPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Kind(99).Props()
+}
+
+func TestAnalyticPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Analytic(Kind(99), 1, 1, 1, 1)
+}
+
+func TestRelatedModels(t *testing.T) {
+	for _, k := range Kinds() {
+		if k.Props().RelatedModel == "" {
+			t.Errorf("%v lacks a related model", k)
+		}
+	}
+	if Kind(42).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}

@@ -1,0 +1,154 @@
+package tcfpram
+
+// Scale stress: larger-than-default workloads end to end through the public
+// API, skipped under -short.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func TestStressLargeVectorAdd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const n = 8192
+	var b []byte
+	b = append(b, []byte(fmt.Sprintf(`
+shared int a[%d] @ 10000;
+shared int c[%d] @ 30000;
+
+func main() {
+    #%d;
+    c[tid] = a[tid] * 3 + 1;
+}
+`, n, n, n))...)
+	cfg := DefaultConfig(SingleInstruction)
+	cfg.SharedWords = 1 << 17
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(i)
+	}
+	if err := m.SetWords(10000, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadSource("big", string(b)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Array("c")
+	for i := range got {
+		if got[i] != int64(i)*3+1 {
+			t.Fatalf("c[%d] = %d", i, got[i])
+		}
+	}
+}
+
+func TestStressSort64(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	// Odd-even transposition sort of 64 elements in tcf-e, on both the
+	// single-instruction and balanced engines and with auto-splitting.
+	src := `
+shared int data[64] @ 10000;
+shared int n @ 50 = 64;
+
+func main() {
+    int rounds = n;
+    int half = n / 2;
+    for (int r = 0; r < rounds; r += 1) {
+        int offset = r % 2;
+        #half;
+        thick int i = tid * 2 + offset;
+        thick int valid = i + 1 < n;
+        thick int j = (i + 1) * valid;
+        thick int x = data[i * valid];
+        thick int y = data[j];
+        thick int swap = (x > y) & valid;
+        thick int lo = x + (y - x) * swap;
+        thick int hi = y - (y - x) * swap;
+        data[i * valid] = lo * valid + x * (1 - valid);
+        data[j] = hi * valid + y * (1 - valid);
+    }
+}
+`
+	configs := []struct {
+		name  string
+		tweak func(*Config)
+	}{
+		{"single-instruction", nil},
+		{"balanced-b4", func(c *Config) { c.Variant = Balanced; c.BalancedBound = 4 }},
+		{"autosplit-8", func(c *Config) { c.AutoSplitThreshold = 8 }},
+	}
+	for _, cc := range configs {
+		cc := cc
+		t.Run(cc.name, func(t *testing.T) {
+			cfg := DefaultConfig(SingleInstruction)
+			if cc.tweak != nil {
+				cc.tweak(&cfg)
+			}
+			m, err := NewMachine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := make([]int64, 64)
+			for i := range in {
+				in[i] = int64((i*37 + 11) % 101)
+			}
+			if err := m.SetWords(10000, in); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.LoadSource("sort", src); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			got, _ := m.Array("data")
+			if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+				t.Fatalf("not sorted: %v", got)
+			}
+			want := append([]int64(nil), in...)
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("element %d = %d, want %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestStressManyFlows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	// 200 tasks across 16 slots exercise queueing and rotation at scale.
+	var src []byte
+	src = append(src, []byte("shared int out[200] @ 20000;\nfunc main() {\n    parallel {\n")...)
+	for i := 0; i < 200; i++ {
+		src = append(src, []byte("        #1: out[fid - 1] = fid;\n")...)
+	}
+	src = append(src, []byte("    }\n}\n")...)
+	m, _, err := RunSource(DefaultConfig(SingleInstruction), "many", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := m.Array("out")
+	for i := range out {
+		if out[i] != int64(i+1) {
+			t.Fatalf("task %d wrote %d", i, out[i])
+		}
+	}
+	if m.Stats().TaskSwitches == 0 {
+		t.Fatal("no rotation at 200 tasks")
+	}
+}

@@ -1,0 +1,283 @@
+// Package tcfpram is a software realization of the extended PRAM-NUMA model
+// of computation for Thick Control Flow (TCF) programming (Forsell &
+// Leppänen, 2012).
+//
+// The package bundles a complete stack:
+//
+//   - a TCF machine (P processor groups × Tp TCF processor slots, shared
+//     memory with PRAM step semantics, per-group local memories, a
+//     distance-aware latency model, multioperations and ordered
+//     multiprefixes);
+//   - the six execution variants of the model (single-instruction,
+//     balanced, multi-instruction/XMT, single-operation/ESM, configurable
+//     single-operation/PRAM-NUMA, fixed-thickness/SIMD);
+//   - a TCF assembler and the tcf-e language (thickness statements #N;,
+//     NUMA statements #1/T;, thick variables, parallel statements,
+//     flow-level functions, multiprefix intrinsics);
+//   - execution tracing that reproduces the paper's schedule figures.
+//
+// Quick start:
+//
+//	m, _ := tcfpram.NewMachine(tcfpram.DefaultConfig(tcfpram.SingleInstruction))
+//	_ = m.LoadSource("add", `
+//	    shared int a[8] @ 100 = {1,2,3,4,5,6,7,8};
+//	    shared int c[8] @ 300;
+//	    func main() { #8; c[tid] = a[tid] * 10; }
+//	`)
+//	stats, _ := m.Run()
+//	fmt.Println(m.Words(300, 8), stats.Cycles)
+package tcfpram
+
+import (
+	"fmt"
+
+	"tcfpram/internal/codegen"
+	"tcfpram/internal/isa"
+	"tcfpram/internal/machine"
+	"tcfpram/internal/trace"
+	"tcfpram/internal/variant"
+)
+
+// Variant selects one of the six execution models of Section 3.2.
+type Variant = variant.Kind
+
+// The execution variants (Table 1 column order).
+const (
+	// SingleInstruction is the full TCF-aware extended PRAM-NUMA model.
+	SingleInstruction = variant.SingleInstruction
+	// Balanced bounds the operations per step, splitting thick
+	// instructions across steps.
+	Balanced = variant.Balanced
+	// MultiInstruction is the XMT-style model: multiple instructions per
+	// step, no lockstep between flows.
+	MultiInstruction = variant.MultiInstruction
+	// SingleOperation is the classic interleaved ESM (SB-PRAM, ECLIPSE).
+	SingleOperation = variant.SingleOperation
+	// ConfigurableSingleOperation is the original PRAM-NUMA model
+	// (TOTAL ECLIPSE).
+	ConfigurableSingleOperation = variant.ConfigurableSingleOperation
+	// FixedThickness is the vector/SIMD reduction of the model.
+	FixedThickness = variant.FixedThickness
+)
+
+// Variants lists all execution variants.
+func Variants() []Variant { return variant.Kinds() }
+
+// ParseVariant resolves a variant name ("tcf", "xmt", "esm", "pram-numa",
+// "simd", "balanced", or the full names).
+func ParseVariant(s string) (Variant, error) { return variant.ParseKind(s) }
+
+// Config describes a machine instance; see DefaultConfig for a ready-made
+// one.
+type Config = machine.Config
+
+// Stats are the measured execution statistics.
+type Stats = machine.Stats
+
+// Output is one print record.
+type Output = machine.Output
+
+// DefaultConfig returns the small reference configuration for a variant
+// (P=4 groups of Tp=4 TCF processors; 1 group for FixedThickness).
+func DefaultConfig(v Variant) Config { return machine.Default(v) }
+
+// Machine is a ready-to-run TCF machine with a loaded program.
+type Machine struct {
+	inner    *machine.Machine
+	compiled *codegen.Compiled
+}
+
+// NewMachine builds a machine from cfg.
+func NewMachine(cfg Config) (*Machine, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{inner: m}, nil
+}
+
+// LoadSource compiles tcf-e source and loads it (including initialized
+// shared and local data).
+func (m *Machine) LoadSource(name, src string) error {
+	c, err := codegen.CompileSource(name, src)
+	if err != nil {
+		return err
+	}
+	if err := m.inner.LoadProgram(c.Program); err != nil {
+		return err
+	}
+	for _, seg := range c.LocalData {
+		for g := 0; g < m.inner.Config().Groups; g++ {
+			if err := m.inner.LocalMem(g).Load(seg.Addr, seg.Words); err != nil {
+				return err
+			}
+		}
+	}
+	m.compiled = c
+	return nil
+}
+
+// LoadAssembly assembles TCF assembler source and loads it.
+func (m *Machine) LoadAssembly(name, src string) error {
+	p, err := isa.Assemble(name, src)
+	if err != nil {
+		return err
+	}
+	return m.inner.LoadProgram(p)
+}
+
+// LoadBinary loads a TCFB object (produced by cmd/tcfas or isa.Encode).
+func (m *Machine) LoadBinary(data []byte) error {
+	p, err := isa.Decode(data)
+	if err != nil {
+		return err
+	}
+	return m.inner.LoadProgram(p)
+}
+
+// Run executes the program to completion and returns the statistics.
+func (m *Machine) Run() (*Stats, error) { return m.inner.Run() }
+
+// Step advances one synchronous machine step (Boot is implicit on first
+// use via Run; call Boot explicitly when stepping manually).
+func (m *Machine) Step() error { return m.inner.Step() }
+
+// Boot creates the initial flow population for the variant.
+func (m *Machine) Boot() error { return m.inner.Boot() }
+
+// Done reports whether every flow has terminated.
+func (m *Machine) Done() bool { return m.inner.Done() }
+
+// Stats returns the statistics accumulated so far.
+func (m *Machine) Stats() *Stats { return m.inner.Stats() }
+
+// Outputs returns the print records in deterministic order.
+func (m *Machine) Outputs() []Output { return m.inner.Outputs() }
+
+// PrintedValues flattens all PRINT outputs into one slice.
+func (m *Machine) PrintedValues() []int64 {
+	var out []int64
+	for _, o := range m.inner.Outputs() {
+		out = append(out, o.Values...)
+	}
+	return out
+}
+
+// Words reads n shared-memory words starting at addr.
+func (m *Machine) Words(addr int64, n int) []int64 { return m.inner.Shared().Snapshot(addr, n) }
+
+// Word reads one shared-memory word.
+func (m *Machine) Word(addr int64) int64 { return m.inner.Shared().Peek(addr) }
+
+// SetWords preloads shared memory (workload inputs).
+func (m *Machine) SetWords(addr int64, words []int64) error {
+	return m.inner.Shared().Load(addr, words)
+}
+
+// Array reads a named global array of the loaded tcf-e program.
+func (m *Machine) Array(name string) ([]int64, error) {
+	sym, err := m.symbol(name)
+	if err != nil {
+		return nil, err
+	}
+	if sym.ArrayLen < 0 {
+		return nil, fmt.Errorf("tcfpram: %s is not an array", name)
+	}
+	return m.Words(sym.Addr, sym.ArrayLen), nil
+}
+
+// Global reads a named global scalar of the loaded tcf-e program.
+func (m *Machine) Global(name string) (int64, error) {
+	sym, err := m.symbol(name)
+	if err != nil {
+		return 0, err
+	}
+	if sym.ArrayLen >= 0 {
+		return 0, fmt.Errorf("tcfpram: %s is an array; use Array", name)
+	}
+	return m.Word(sym.Addr), nil
+}
+
+func (m *Machine) symbol(name string) (sym symInfo, err error) {
+	if m.compiled == nil {
+		return sym, fmt.Errorf("tcfpram: no tcf-e program loaded")
+	}
+	for _, d := range m.compiled.Info.Prog.Globals {
+		if d.Name == name {
+			s := m.compiled.Info.Syms[d]
+			return symInfo{Addr: s.Addr, ArrayLen: s.ArrayLen}, nil
+		}
+	}
+	return sym, fmt.Errorf("tcfpram: no global named %s", name)
+}
+
+type symInfo struct {
+	Addr     int64
+	ArrayLen int
+}
+
+// Timeline renders the step/slice schedule (requires Config.TraceEnabled).
+func (m *Machine) Timeline() string { return trace.Timeline(m.inner) }
+
+// Gantt renders the per-group occupancy schedule (requires
+// Config.TraceEnabled).
+func (m *Machine) Gantt() string { return trace.Gantt(m.inner) }
+
+// TraceCSV exports the execution trace as CSV (requires
+// Config.TraceEnabled).
+func (m *Machine) TraceCSV() string { return trace.CSV(m.inner) }
+
+// TraceSVG renders the schedule as an SVG document in the style of the
+// paper's execution figures (requires Config.TraceEnabled).
+func (m *Machine) TraceSVG() string { return trace.SVG(m.inner) }
+
+// Disassembly renders the loaded program.
+func (m *Machine) Disassembly() string {
+	if p := m.inner.Program(); p != nil {
+		return p.Listing()
+	}
+	return ""
+}
+
+// RunSource compiles and runs tcf-e source on a fresh machine with cfg,
+// returning the machine for inspection.
+func RunSource(cfg Config, name, src string) (*Machine, *Stats, error) {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := m.LoadSource(name, src); err != nil {
+		return nil, nil, err
+	}
+	stats, err := m.Run()
+	if err != nil {
+		return m, stats, err
+	}
+	return m, stats, nil
+}
+
+// RunAssembly assembles and runs TCF assembler source on a fresh machine.
+func RunAssembly(cfg Config, name, src string) (*Machine, *Stats, error) {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := m.LoadAssembly(name, src); err != nil {
+		return nil, nil, err
+	}
+	stats, err := m.Run()
+	if err != nil {
+		return m, stats, err
+	}
+	return m, stats, nil
+}
+
+// EncodeProgram serializes the currently loaded program to the TCFB object
+// format (the inverse of LoadBinary).
+func (m *Machine) EncodeProgram() ([]byte, error) {
+	p := m.inner.Program()
+	if p == nil {
+		return nil, fmt.Errorf("tcfpram: no program loaded")
+	}
+	return isa.Encode(p), nil
+}

@@ -1,0 +1,266 @@
+package tcfpram
+
+import (
+	"strings"
+	"testing"
+)
+
+const addSrc = `
+shared int a[8] @ 100 = {1, 2, 3, 4, 5, 6, 7, 8};
+shared int c[8] @ 300;
+shared int total;
+
+func main() {
+    #8;
+    c[tid] = a[tid] * 10;
+    total = radd(a[tid]);
+}
+`
+
+func TestRunSourceQuickstart(t *testing.T) {
+	m, stats, err := RunSource(DefaultConfig(SingleInstruction), "add", addSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Array("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != int64((i+1)*10) {
+			t.Fatalf("c = %v", got)
+		}
+	}
+	total, err := m.Global("total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 36 {
+		t.Fatalf("total = %d", total)
+	}
+	if stats.Cycles == 0 || stats.Steps == 0 {
+		t.Fatal("empty stats")
+	}
+}
+
+func TestRunOnEveryVariant(t *testing.T) {
+	// A variant-portable program: plain sequential scalar code.
+	src := `
+func main() {
+    int x = 0;
+    for (int i = 1; i <= 10; i += 1) {
+        x += i;
+    }
+    print(x);
+}
+`
+	for _, v := range Variants() {
+		t.Run(v.String(), func(t *testing.T) {
+			m, _, err := RunSource(DefaultConfig(v), "seq", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals := m.PrintedValues()
+			if len(vals) == 0 || vals[0] != 55 {
+				t.Fatalf("printed %v, want 55 first", vals)
+			}
+		})
+	}
+}
+
+func TestRunAssembly(t *testing.T) {
+	src := `
+main:
+    LDI S0, 4
+    SETTHICK S0
+    TID V0
+    MUL V1, V0, V0
+    ST V0+500, V1
+    HALT
+`
+	m, _, err := RunAssembly(DefaultConfig(SingleInstruction), "squares", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Words(500, 4)
+	for i := int64(0); i < 4; i++ {
+		if got[i] != i*i {
+			t.Fatalf("squares = %v", got)
+		}
+	}
+}
+
+func TestParseVariant(t *testing.T) {
+	for _, v := range Variants() {
+		got, err := ParseVariant(v.String())
+		if err != nil || got != v {
+			t.Fatalf("ParseVariant(%q) = %v, %v", v.String(), got, err)
+		}
+	}
+	if _, err := ParseVariant("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestManualStepping(t *testing.T) {
+	m, err := NewMachine(DefaultConfig(SingleInstruction))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadSource("s", "func main() { print(1); }"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for !m.Done() && steps < 100 {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+	}
+	if !m.Done() {
+		t.Fatal("did not finish")
+	}
+	if got := m.PrintedValues(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("printed %v", got)
+	}
+}
+
+func TestTraceRendering(t *testing.T) {
+	cfg := DefaultConfig(SingleInstruction)
+	cfg.TraceEnabled = true
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadSource("t", addSrc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m.Timeline(), "step") {
+		t.Fatal("timeline empty")
+	}
+	if m.Gantt() == "" || !strings.HasPrefix(m.TraceCSV(), "step,") {
+		t.Fatal("trace renderers empty")
+	}
+	if !strings.Contains(m.Disassembly(), "SETTHICK") {
+		t.Fatal("disassembly missing")
+	}
+}
+
+func TestSymbolErrors(t *testing.T) {
+	m, _, err := RunSource(DefaultConfig(SingleInstruction), "t", addSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Array("total"); err == nil {
+		t.Fatal("Array on scalar should fail")
+	}
+	if _, err := m.Global("c"); err == nil {
+		t.Fatal("Global on array should fail")
+	}
+	if _, err := m.Array("nope"); err == nil {
+		t.Fatal("unknown symbol should fail")
+	}
+	m2, _ := NewMachine(DefaultConfig(SingleInstruction))
+	if _, err := m2.Array("x"); err == nil {
+		t.Fatal("Array without program should fail")
+	}
+}
+
+func TestSetWords(t *testing.T) {
+	m, err := NewMachine(DefaultConfig(SingleInstruction))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetWords(100, []int64{9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadSource("t", "shared int a[3] @ 100;\nfunc main() { print(a[0] + a[1] + a[2]); }"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PrintedValues(); got[0] != 27 {
+		t.Fatalf("printed %v", got)
+	}
+}
+
+func TestCompileErrorPropagates(t *testing.T) {
+	m, _ := NewMachine(DefaultConfig(SingleInstruction))
+	if err := m.LoadSource("bad", "func main() { x = 1; }"); err == nil {
+		t.Fatal("expected compile error")
+	}
+	if err := m.LoadAssembly("bad", "FOO"); err == nil {
+		t.Fatal("expected assembly error")
+	}
+}
+
+func TestLoadBinaryRoundTrip(t *testing.T) {
+	// Compile to a TCFB object via the internal encoder, then load it
+	// through the public API.
+	m1, err := NewMachine(DefaultConfig(SingleInstruction))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.LoadSource("t", "func main() { print(5 * 9); }"); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := m1.EncodeProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewMachine(DefaultConfig(SingleInstruction))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.LoadBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.PrintedValues(); len(got) != 1 || got[0] != 45 {
+		t.Fatalf("binary round trip printed %v", got)
+	}
+	if err := m2.LoadBinary([]byte("garbage")); err == nil {
+		t.Fatal("garbage object accepted")
+	}
+}
+
+func TestFacadeErrorPaths(t *testing.T) {
+	if _, err := NewMachine(Config{Variant: SingleInstruction, Groups: -1}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, _, err := RunSource(Config{Variant: SingleInstruction, Groups: -1}, "x", "func main() { }"); err == nil {
+		t.Fatal("RunSource with bad config accepted")
+	}
+	if _, _, err := RunSource(DefaultConfig(SingleInstruction), "x", "not a program"); err == nil {
+		t.Fatal("RunSource with bad source accepted")
+	}
+	if _, _, err := RunAssembly(Config{Variant: SingleInstruction, Groups: -1}, "x", "HALT"); err == nil {
+		t.Fatal("RunAssembly with bad config accepted")
+	}
+	if _, _, err := RunAssembly(DefaultConfig(SingleInstruction), "x", "FOO"); err == nil {
+		t.Fatal("RunAssembly with bad source accepted")
+	}
+	// Runtime error surfaces through RunSource.
+	if _, _, err := RunSource(DefaultConfig(FixedThickness), "x", "func main() { #4; }"); err == nil {
+		t.Fatal("runtime error swallowed")
+	}
+	m, _ := NewMachine(DefaultConfig(SingleInstruction))
+	if _, err := m.EncodeProgram(); err == nil {
+		t.Fatal("EncodeProgram without a program accepted")
+	}
+	if m.Disassembly() != "" {
+		t.Fatal("disassembly of empty machine")
+	}
+	if _, err := m.Global("x"); err == nil {
+		t.Fatal("Global without program accepted")
+	}
+}
