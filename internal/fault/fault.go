@@ -1,0 +1,309 @@
+// Package fault defines deterministic, seeded fault plans shared by the
+// interconnect simulator (internal/network), the memory system
+// (internal/mem) and the step engine (internal/machine).
+//
+// A Plan is a pure description: every query (is this link down at cycle c?
+// does this packet attempt drop on hop h?) is a pure function of the plan
+// fields and the query arguments, computed with a splitmix-style hash of the
+// seed. There is no mutable random state, so the same seed produces the same
+// fault behavior regardless of execution order or goroutine interleaving —
+// the determinism guarantee the chaos tests rely on.
+//
+// The plan distinguishes three fault classes:
+//
+//   - transient faults (packet drop/corruption, reference loss) recovered by
+//     end-to-end retransmission with exponential backoff;
+//   - interval faults (link down, router stall, group→module route down)
+//     recovered by adaptive re-routing or detour latency;
+//   - fail-stop faults (memory module death) recovered by step-granular
+//     failover to a mirrored spare module.
+//
+// All recoveries preserve results; only cycle counts change. A plan is
+// unrecoverable only when retries exhaust or no spare module remains, which
+// the consuming layers surface as a structured error instead of a hang.
+package fault
+
+import (
+	"fmt"
+)
+
+// Interval is a half-open activity window [From, To) in cycles (network
+// layer) or steps (machine layer). To <= 0 means "never clears".
+type Interval struct {
+	From, To int64
+}
+
+// Contains reports whether t falls inside the interval.
+func (iv Interval) Contains(t int64) bool {
+	return t >= iv.From && (iv.To <= 0 || t < iv.To)
+}
+
+// LinkFault takes one router output link of the packet network down for an
+// interval of cycles. Dir uses the network package's direction encoding
+// (0=east, 1=west, 2=north, 3=south).
+type LinkFault struct {
+	Node, Dir int
+	Interval
+}
+
+// RouterFault stalls a whole router (nothing forwards) for an interval of
+// cycles.
+type RouterFault struct {
+	Node int
+	Interval
+}
+
+// RouteFault takes the analytic group→module route of the machine's latency
+// model down for an interval of steps: references detour and pay
+// DetourPenalty extra distance.
+type RouteFault struct {
+	Group, Module int
+	Interval
+}
+
+// ModuleFault fail-stops a shared-memory module at the given machine step.
+// The memory system fails over to a mirrored spare at the step boundary.
+type ModuleFault struct {
+	Module int
+	Step   int64
+}
+
+// Plan is one deterministic fault schedule. The zero value injects nothing.
+type Plan struct {
+	// Seed keys every probabilistic decision in the plan.
+	Seed int64
+
+	// DropRate is the probability a packet is lost on one link traversal;
+	// CorruptRate the probability one delivery attempt arrives corrupted
+	// (detected by the receiver's checksum and treated as a loss).
+	DropRate    float64
+	CorruptRate float64
+
+	// MemDropRate is the probability one shared-memory reference of the
+	// step engine is lost in the emulated interconnect and must be
+	// retransmitted (stall cycles, never a value change).
+	MemDropRate float64
+
+	Links   []LinkFault
+	Routers []RouterFault
+	Routes  []RouteFault
+	Modules []ModuleFault
+
+	// RetryTimeout is the base end-to-end retransmission timeout in
+	// cycles; attempt k waits RetryTimeout<<k (exponential backoff).
+	// Defaults to 16.
+	RetryTimeout int
+	// MaxRetries bounds the retransmission attempts before the fault is
+	// declared unrecoverable. Defaults to 12.
+	MaxRetries int
+	// DetourPenalty is the extra distance a re-routed machine-layer
+	// reference pays. Defaults to 2.
+	DetourPenalty int
+}
+
+// Timeout returns the effective base retransmission timeout.
+func (p *Plan) Timeout() int64 {
+	if p.RetryTimeout <= 0 {
+		return 16
+	}
+	return int64(p.RetryTimeout)
+}
+
+// Retries returns the effective retry budget.
+func (p *Plan) Retries() int {
+	if p.MaxRetries <= 0 {
+		return 12
+	}
+	return p.MaxRetries
+}
+
+// Detour returns the effective re-route distance penalty.
+func (p *Plan) Detour() int {
+	if p.DetourPenalty <= 0 {
+		return 2
+	}
+	return p.DetourPenalty
+}
+
+// Validate rejects malformed plans.
+func (p *Plan) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"DropRate", p.DropRate}, {"CorruptRate", p.CorruptRate}, {"MemDropRate", p.MemDropRate}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s %v outside [0,1]", r.name, r.v)
+		}
+	}
+	for _, l := range p.Links {
+		if l.Dir < 0 || l.Dir > 3 {
+			return fmt.Errorf("fault: link fault direction %d outside [0,3]", l.Dir)
+		}
+	}
+	return nil
+}
+
+// LinkDown reports whether the output link (node, dir) is dead at cycle c.
+func (p *Plan) LinkDown(node, dir int, c int64) bool {
+	for _, l := range p.Links {
+		if l.Node == node && l.Dir == dir && l.Contains(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// RouterStalled reports whether the router at node forwards nothing at
+// cycle c.
+func (p *Plan) RouterStalled(node int, c int64) bool {
+	for _, r := range p.Routers {
+		if r.Node == node && r.Contains(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// RouteDown reports whether the analytic group→module route is detouring at
+// the given step.
+func (p *Plan) RouteDown(group, module int, step int64) bool {
+	for _, r := range p.Routes {
+		if r.Group == group && r.Module == module && r.Contains(step) {
+			return true
+		}
+	}
+	return false
+}
+
+// ModuleFailuresAt returns the modules that fail-stop exactly at step.
+func (p *Plan) ModuleFailuresAt(step int64) []int {
+	var out []int
+	for _, m := range p.Modules {
+		if m.Step == step {
+			out = append(out, m.Module)
+		}
+	}
+	return out
+}
+
+// DropPacket reports whether the packet's given attempt is lost crossing its
+// hop-th link.
+func (p *Plan) DropPacket(id, attempt, hop int) bool {
+	return p.chance(p.DropRate, 0x44524f50, int64(id), int64(attempt), int64(hop))
+}
+
+// CorruptAttempt reports whether the packet's given delivery attempt arrives
+// corrupted (rejected by the receiver's checksum).
+func (p *Plan) CorruptAttempt(id, attempt int) bool {
+	return p.chance(p.CorruptRate, 0x434f5252, int64(id), int64(attempt), 0)
+}
+
+// MemRetries returns how many retransmissions the seq-th shared reference of
+// the group in the step needs before succeeding, and whether it succeeds
+// within the retry budget at all.
+func (p *Plan) MemRetries(group, module int, step, seq int64) (retries int, ok bool) {
+	if p.MemDropRate <= 0 {
+		return 0, true
+	}
+	max := p.Retries()
+	for a := 0; a < max; a++ {
+		if !p.chance(p.MemDropRate, 0x4d454d44, int64(group)<<20^int64(module), step, seq<<4+int64(a)) {
+			return a, true
+		}
+	}
+	return max, false
+}
+
+// RetryPenalty returns the stall cycles of n back-to-back retransmissions
+// under exponential backoff: sum of Timeout<<k for k < n.
+func (p *Plan) RetryPenalty(n int) int64 {
+	var total int64
+	t := p.Timeout()
+	for k := 0; k < n; k++ {
+		total += t << k
+	}
+	return total
+}
+
+// Backoff returns the wait before retransmission attempt k (0-based).
+func (p *Plan) Backoff(attempt int) int64 {
+	if attempt > 20 {
+		attempt = 20
+	}
+	return p.Timeout() << attempt
+}
+
+// chance makes one deterministic probabilistic decision keyed by (seed, tag,
+// a, b, c).
+func (p *Plan) chance(rate float64, tag, a, b, c int64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	h := mix(p.Seed, tag, a, b, c)
+	return float64(h>>11)/(1<<53) < rate
+}
+
+// mix is a splitmix64-style avalanche over the inputs.
+func mix(vs ...int64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vs {
+		h ^= uint64(v)
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
+// Random builds a recoverable plan for a fabric of the given node count and
+// module count: a few transient link outages, a router stall, group→module
+// detours, one module fail-stop (when a spare exists), and modest drop and
+// corruption rates. All intervals clear, so retransmission always
+// eventually succeeds. Deterministic in seed.
+func Random(seed int64, nodes, modules int) *Plan {
+	h := func(i int64) int64 { return int64(mix(seed, 0x52414e44, i, 0, 0) >> 1) }
+	p := &Plan{
+		Seed:        seed,
+		DropRate:    0.001 + float64(h(1)%64)/8000,  // 0.1% .. 0.9%
+		CorruptRate: float64(h(2)%32) / 8000,        // 0 .. 0.4%
+		MemDropRate: 0.005 + float64(h(3)%128)/4000, // 0.5% .. 3.7%
+	}
+	if nodes > 1 {
+		nLinks := 1 + int(h(4)%3)
+		for i := 0; i < nLinks; i++ {
+			start := 2 + h(10+int64(i))%64
+			p.Links = append(p.Links, LinkFault{
+				Node:     int(h(20+int64(i)) % int64(nodes)),
+				Dir:      int(h(30+int64(i)) % 4),
+				Interval: Interval{From: start, To: start + 32 + h(40+int64(i))%256},
+			})
+		}
+		start := 4 + h(50)%32
+		p.Routers = append(p.Routers, RouterFault{
+			Node:     int(h(51) % int64(nodes)),
+			Interval: Interval{From: start, To: start + 4 + h(52)%24},
+		})
+	}
+	if modules > 0 {
+		nRoutes := 1 + int(h(5)%2)
+		for i := 0; i < nRoutes; i++ {
+			start := h(60+int64(i)) % 8
+			p.Routes = append(p.Routes, RouteFault{
+				Group:    int(h(70+int64(i)) % int64(modules)),
+				Module:   int(h(80+int64(i)) % int64(modules)),
+				Interval: Interval{From: start, To: start + 8 + h(90+int64(i))%64},
+			})
+		}
+	}
+	if modules > 1 {
+		p.Modules = append(p.Modules, ModuleFault{
+			Module: int(h(6) % int64(modules)),
+			Step:   1 + h(7)%32,
+		})
+	}
+	return p
+}

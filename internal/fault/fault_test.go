@@ -1,0 +1,146 @@
+package fault
+
+import "testing"
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{From: 10, To: 20}
+	for _, c := range []struct {
+		t    int64
+		want bool
+	}{{9, false}, {10, true}, {19, true}, {20, false}} {
+		if got := iv.Contains(c.t); got != c.want {
+			t.Errorf("Contains(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	open := Interval{From: 5, To: 0}
+	if !open.Contains(1 << 40) {
+		t.Error("open interval must never clear")
+	}
+	if open.Contains(4) {
+		t.Error("open interval active before From")
+	}
+}
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	p := &Plan{}
+	for i := 0; i < 1000; i++ {
+		if p.DropPacket(i, 0, i%7) || p.CorruptAttempt(i, 0) {
+			t.Fatal("zero plan dropped or corrupted a packet")
+		}
+		if r, ok := p.MemRetries(i%4, i%3, int64(i), int64(i)); r != 0 || !ok {
+			t.Fatal("zero plan retried a memory reference")
+		}
+	}
+	if p.LinkDown(0, 0, 5) || p.RouterStalled(0, 5) || p.RouteDown(0, 0, 5) {
+		t.Fatal("zero plan has interval faults")
+	}
+	if len(p.ModuleFailuresAt(0)) != 0 {
+		t.Fatal("zero plan fails modules")
+	}
+}
+
+func TestDecisionsDeterministicInSeed(t *testing.T) {
+	a := &Plan{Seed: 42, DropRate: 0.3, CorruptRate: 0.2, MemDropRate: 0.25}
+	b := &Plan{Seed: 42, DropRate: 0.3, CorruptRate: 0.2, MemDropRate: 0.25}
+	c := &Plan{Seed: 43, DropRate: 0.3, CorruptRate: 0.2, MemDropRate: 0.25}
+	same, diff := 0, 0
+	for i := 0; i < 2000; i++ {
+		if a.DropPacket(i, 1, 2) != b.DropPacket(i, 1, 2) {
+			t.Fatal("same seed must give same decisions")
+		}
+		ra, oka := a.MemRetries(1, 2, 3, int64(i))
+		rb, okb := b.MemRetries(1, 2, 3, int64(i))
+		if ra != rb || oka != okb {
+			t.Fatal("same seed must give same retry counts")
+		}
+		if a.DropPacket(i, 1, 2) == c.DropPacket(i, 1, 2) {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds never disagreed; hash is not mixing")
+	}
+}
+
+func TestDropRateRoughlyCalibrated(t *testing.T) {
+	p := &Plan{Seed: 7, DropRate: 0.25}
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if p.DropPacket(i, 0, 0) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.20 || got > 0.30 {
+		t.Fatalf("empirical drop rate %.3f for configured 0.25", got)
+	}
+}
+
+func TestMemRetriesExhaustion(t *testing.T) {
+	p := &Plan{Seed: 1, MemDropRate: 1, MaxRetries: 5}
+	r, ok := p.MemRetries(0, 0, 0, 0)
+	if ok || r != 5 {
+		t.Fatalf("rate-1 plan should exhaust retries: got r=%d ok=%v", r, ok)
+	}
+}
+
+func TestRetryPenaltyBackoff(t *testing.T) {
+	p := &Plan{RetryTimeout: 8}
+	if got := p.RetryPenalty(3); got != 8+16+32 {
+		t.Fatalf("RetryPenalty(3) = %d, want 56", got)
+	}
+	if got := p.Backoff(2); got != 32 {
+		t.Fatalf("Backoff(2) = %d, want 32", got)
+	}
+	if p.RetryPenalty(0) != 0 {
+		t.Fatal("no retries, no penalty")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := &Plan{}
+	if p.Timeout() != 16 || p.Retries() != 12 || p.Detour() != 2 {
+		t.Fatalf("defaults: timeout=%d retries=%d detour=%d", p.Timeout(), p.Retries(), p.Detour())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Plan{DropRate: 1.5}).Validate(); err == nil {
+		t.Error("DropRate 1.5 accepted")
+	}
+	if err := (&Plan{Links: []LinkFault{{Dir: 9}}}).Validate(); err == nil {
+		t.Error("direction 9 accepted")
+	}
+	if err := (&Plan{DropRate: 0.5}).Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestRandomPlansRecoverableAndSeeded(t *testing.T) {
+	a, b := Random(9, 16, 4), Random(9, 16, 4)
+	if a.DropRate != b.DropRate || len(a.Links) != len(b.Links) || a.MemDropRate != b.MemDropRate {
+		t.Fatal("Random not deterministic in seed")
+	}
+	for seed := int64(0); seed < 32; seed++ {
+		p := Random(seed, 16, 4)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if p.DropRate <= 0 || p.DropRate > 0.01 {
+			t.Fatalf("seed %d: drop rate %v outside transient band", seed, p.DropRate)
+		}
+		for _, l := range p.Links {
+			if l.To <= 0 {
+				t.Fatalf("seed %d: permanent link fault; plan not recoverable", seed)
+			}
+		}
+		for _, r := range p.Routers {
+			if r.To <= 0 {
+				t.Fatalf("seed %d: permanent router stall", seed)
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ package machine
 import (
 	"fmt"
 
+	"tcfpram/internal/fault"
 	"tcfpram/internal/mem"
 	"tcfpram/internal/topology"
 	"tcfpram/internal/variant"
@@ -78,6 +79,21 @@ type Config struct {
 
 	// MaxSteps aborts runaway programs.
 	MaxSteps int64
+
+	// WatchdogSteps enables the progress watchdog: when no observable
+	// progress (committed memory writes, flow creations/completions,
+	// barriers, outputs) happens for this many consecutive steps while
+	// flows are still live, the run stops with an error wrapping
+	// ErrDeadlock instead of silently spinning to MaxSteps. 0 disables.
+	WatchdogSteps int64
+
+	// FaultPlan injects deterministic faults (reference loss with
+	// retransmission stalls, group→module route detours, memory-module
+	// fail-stop with spare failover). Faults change cycle counts only;
+	// results are identical to the fault-free run unless the plan is
+	// unrecoverable, which surfaces as ErrFaultUnrecoverable. Nil runs
+	// fault-free.
+	FaultPlan *fault.Plan
 
 	// Parallel executes groups on separate goroutines within a step.
 	// Results are identical either way; this only changes wall-clock.
@@ -152,6 +168,14 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.MaxSteps <= 0 {
 		c.MaxSteps = 1 << 22
+	}
+	if c.WatchdogSteps < 0 {
+		return c, fmt.Errorf("machine: negative WatchdogSteps %d", c.WatchdogSteps)
+	}
+	if c.FaultPlan != nil {
+		if err := c.FaultPlan.Validate(); err != nil {
+			return c, fmt.Errorf("machine: %w", err)
+		}
 	}
 	return c, nil
 }

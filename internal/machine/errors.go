@@ -1,0 +1,19 @@
+package machine
+
+import "errors"
+
+// The error taxonomy of the public run paths. Every way a run can stop
+// abnormally wraps exactly one of these sentinels, so callers can dispatch
+// with errors.Is instead of matching message strings.
+var (
+	// ErrDeadlock: live flows exist but none can ever run again (missing
+	// JOIN, or the progress watchdog saw no observable progress).
+	ErrDeadlock = errors.New("deadlock")
+	// ErrMaxSteps: the MaxSteps livelock bound was exceeded.
+	ErrMaxSteps = errors.New("max steps exceeded")
+	// ErrCanceled: the RunContext context was canceled between steps.
+	ErrCanceled = errors.New("run canceled")
+	// ErrFaultUnrecoverable: the fault plan exceeded what the recovery
+	// machinery can mask (retries exhausted, or no spare module remains).
+	ErrFaultUnrecoverable = errors.New("unrecoverable fault")
+)

@@ -39,6 +39,16 @@ func (m *Machine) Step() error {
 	if m.runErr != nil {
 		return m.runErr
 	}
+	// Fail-stop events fire at step boundaries: a dead module's traffic
+	// fails over to a mirrored spare before any reference of this step.
+	if plan := m.cfg.FaultPlan; plan != nil {
+		for _, mod := range plan.ModuleFailuresAt(m.stats.Steps) {
+			if err := m.shared.FailModule(mod); err != nil {
+				return m.failw(ErrFaultUnrecoverable, "step %d: %v", m.stats.Steps, err)
+			}
+			m.stats.Failovers++
+		}
+	}
 	if m.cfg.Variant == variant.MultiInstruction {
 		return m.stepEngine(false)
 	}
@@ -115,7 +125,7 @@ func (m *Machine) stepEngine(lockstep bool) error {
 				}
 			}
 		}
-		gc := opsCycles + overhead + x.stall
+		gc := opsCycles + overhead + x.stall + x.faultStall
 		if gc > stepCycles {
 			stepCycles = gc
 		}
@@ -132,6 +142,9 @@ func (m *Machine) stepEngine(lockstep bool) error {
 		m.stats.MultiopRefs += x.multiopRefs
 		m.stats.OverheadCycles += overhead
 		m.stats.StallCycles += x.stall
+		m.stats.FaultStallCycles += x.faultStall
+		m.stats.Retransmits += x.retransmits
+		m.stats.Reroutes += x.reroutes
 		m.stats.Barriers += x.barriers
 	}
 
@@ -269,7 +282,7 @@ func (m *Machine) stepEngine(lockstep bool) error {
 
 	// Liveness: if nothing can ever run again, fail loudly.
 	if m.liveFlows() > 0 && !m.anyReadyAnywhere() {
-		return m.failf("step %d: deadlock: live flows but none ready (missing JOIN?)", m.stats.Steps)
+		return m.failw(ErrDeadlock, "step %d: deadlock: live flows but none ready (missing JOIN?)", m.stats.Steps)
 	}
 	return nil
 }

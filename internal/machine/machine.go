@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -323,16 +324,36 @@ func (m *Machine) Err() error { return m.runErr }
 
 // Run boots (if needed) and steps the machine until completion. It returns
 // the final statistics.
-func (m *Machine) Run() (*Stats, error) {
+func (m *Machine) Run() (*Stats, error) { return m.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// between steps, and a canceled run stops with an error wrapping
+// ErrCanceled. The progress watchdog (Config.WatchdogSteps) also runs here,
+// converting silent livelock into an error wrapping ErrDeadlock.
+func (m *Machine) RunContext(ctx context.Context) (*Stats, error) {
 	if len(m.flows) == 0 {
 		if err := m.Boot(); err != nil {
 			return nil, err
 		}
 	}
+	var lastProgress int64 = -1
+	var lastProgressStep int64
 	for !m.Done() {
-		if m.stats.Steps >= m.cfg.MaxSteps {
-			m.runErr = fmt.Errorf("machine: exceeded MaxSteps=%d (livelock?)", m.cfg.MaxSteps)
+		if err := ctx.Err(); err != nil {
+			m.runErr = fmt.Errorf("machine: %w after %d steps: %v", ErrCanceled, m.stats.Steps, err)
 			break
+		}
+		if m.stats.Steps >= m.cfg.MaxSteps {
+			m.runErr = fmt.Errorf("machine: exceeded MaxSteps=%d (livelock?): %w", m.cfg.MaxSteps, ErrMaxSteps)
+			break
+		}
+		if w := m.cfg.WatchdogSteps; w > 0 {
+			if p := m.progressMark(); p != lastProgress {
+				lastProgress, lastProgressStep = p, m.stats.Steps
+			} else if m.stats.Steps-lastProgressStep >= w {
+				m.runErr = fmt.Errorf("machine: watchdog: no observable progress in %d steps (silent livelock): %w", w, ErrDeadlock)
+				break
+			}
 		}
 		if err := m.Step(); err != nil {
 			m.runErr = err
@@ -342,9 +363,34 @@ func (m *Machine) Run() (*Stats, error) {
 	return &m.stats, m.runErr
 }
 
+// progressMark summarizes the observable progress of the run: committed
+// memory traffic, flow population changes, control-flow advancement,
+// barriers and outputs. A step that changes none of these brought the
+// computation no closer to termination. A self-jump leaves every term
+// unchanged, so the watchdog catches it; a loop that branches moves the PC
+// sum and is (conservatively) treated as progress.
+func (m *Machine) progressMark() int64 {
+	_, committed, issued := m.shared.Stats()
+	mark := committed + issued + m.stats.LocalWrites + m.stats.FlowsCreated +
+		m.stats.Joins + m.stats.Barriers + int64(m.liveFlows()) + int64(len(m.output))
+	for _, f := range m.flows {
+		if f.State != tcf.Done {
+			mark += int64(f.PC)
+		}
+	}
+	return mark
+}
+
 // failf records a runtime error and stops the machine.
 func (m *Machine) failf(format string, args ...any) error {
 	err := fmt.Errorf("machine: "+format, args...)
+	m.runErr = err
+	return err
+}
+
+// failw is failf wrapping a sentinel from the error taxonomy.
+func (m *Machine) failw(sentinel error, format string, args ...any) error {
+	err := fmt.Errorf("machine: "+format+": %w", append(args, sentinel)...)
 	m.runErr = err
 	return err
 }

@@ -220,6 +220,15 @@ type groupExec struct {
 	maxDist   int
 	stall     int64
 
+	// Fault-injection accounting (Config.FaultPlan): retransmission and
+	// detour stalls inflate cycles, never values. refSeq numbers the
+	// group's shared references within the step so each one gets an
+	// independent deterministic fault decision.
+	faultStall  int64
+	retransmits int64
+	reroutes    int64
+	refSeq      int64
+
 	sharedReads  int64
 	sharedWrites int64
 	localReads   int64
@@ -246,10 +255,38 @@ func (x *groupExec) failf(format string, args ...any) {
 	}
 }
 
-// noteShared records a shared-memory reference for the latency model.
+// failw is failf wrapping a sentinel from the error taxonomy.
+func (x *groupExec) failw(sentinel error, format string, args ...any) {
+	if x.err == nil {
+		x.err = fmt.Errorf("machine: group %d: %s: %w", x.g.Index, fmt.Sprintf(format, args...), sentinel)
+	}
+}
+
+// noteShared records a shared-memory reference for the latency model. With
+// a fault plan, the reference may detour around a dead route (extra
+// distance) or be lost and retransmitted (backoff stall); both inflate
+// cycles without touching the referenced value.
 func (x *groupExec) noteShared(addr int64, numaMode bool) {
 	module := x.m.shared.ModuleOf(addr)
 	dist := x.m.cfg.Topology.Distance(x.g.Index, module)
+	if plan := x.m.cfg.FaultPlan; plan != nil {
+		step := x.m.stats.Steps
+		if plan.RouteDown(x.g.Index, module, step) {
+			dist += plan.Detour()
+			x.reroutes++
+		}
+		x.refSeq++
+		if r, ok := plan.MemRetries(x.g.Index, module, step, x.refSeq); r > 0 {
+			if !ok {
+				x.failw(ErrFaultUnrecoverable,
+					"step %d: shared reference to module %d lost %d times, retries exhausted",
+					step, module, r)
+				return
+			}
+			x.retransmits += int64(r)
+			x.faultStall += plan.RetryPenalty(r)
+		}
+	}
 	if numaMode {
 		// NUMA-mode references stall inline: base + distance cycles.
 		x.stall += int64(x.m.cfg.MemLatencyBase + dist)

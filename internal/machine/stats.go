@@ -21,6 +21,12 @@ type Stats struct {
 	OverheadCycles int64 // pipeline fill + latency cycles (not doing ops)
 	StallCycles    int64 // NUMA remote-reference stalls
 
+	// Fault recovery (Config.FaultPlan): latency-only, results unchanged.
+	FaultStallCycles int64 // retransmission backoff stalls
+	Retransmits      int64 // shared references lost and resent
+	Reroutes         int64 // shared references detoured around dead routes
+	Failovers        int64 // memory modules failed over to their spare
+
 	FlowsCreated     int64
 	Splits           int64
 	AutoSplits       int64 // OS-level fragmentations of overly thick flows

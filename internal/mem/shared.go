@@ -78,10 +78,22 @@ func (c Conflict) String() string {
 // Shared is the emulated shared memory: Words words spread over Modules
 // modules with low-order interleaving (module = addr mod Modules), the
 // standard ESM address hashing approximation.
+//
+// Modules can fail-stop (FailModule): every module's contents are mirrored,
+// so a failure remaps the dead module's traffic onto the lowest-indexed
+// surviving module at a step boundary — results are unaffected, only the
+// locality (and hence latency) of the remapped references changes. With no
+// survivor left the failure is unrecoverable.
 type Shared struct {
 	words   []int64
 	modules int
 	policy  Policy
+
+	// remap[m] is the module serving traffic addressed to m (identity
+	// until failover); failed marks dead modules.
+	remap     []int
+	failed    []bool
+	failovers int64
 
 	writes []Write
 
@@ -99,7 +111,14 @@ func NewShared(words, modules int, policy Policy) *Shared {
 	if modules <= 0 {
 		panic("mem: module count must be positive")
 	}
-	return &Shared{words: make([]int64, words), modules: modules, policy: policy}
+	remap := make([]int, modules)
+	for i := range remap {
+		remap[i] = i
+	}
+	return &Shared{
+		words: make([]int64, words), modules: modules, policy: policy,
+		remap: remap, failed: make([]bool, modules),
+	}
 }
 
 // Size returns the number of words.
@@ -111,9 +130,54 @@ func (s *Shared) Modules() int { return s.modules }
 // Policy returns the concurrent-write policy.
 func (s *Shared) Policy() Policy { return s.policy }
 
-// ModuleOf returns the module holding addr (low-order interleaving).
+// ModuleOf returns the module serving addr: low-order interleaving, then the
+// failover remap table.
 func (s *Shared) ModuleOf(addr int64) int {
+	return s.remap[s.HomeModuleOf(addr)]
+}
+
+// HomeModuleOf returns the module addr interleaves onto before failover.
+func (s *Shared) HomeModuleOf(addr int64) int {
 	return int(((addr % int64(s.modules)) + int64(s.modules)) % int64(s.modules))
+}
+
+// ModuleFailed reports whether module m has fail-stopped.
+func (s *Shared) ModuleFailed(m int) bool {
+	return m >= 0 && m < s.modules && s.failed[m]
+}
+
+// Failovers returns the number of module failovers performed.
+func (s *Shared) Failovers() int64 { return s.failovers }
+
+// FailModule fail-stops module m: its traffic (and any traffic already
+// remapped onto it) moves to the lowest-indexed surviving module. Failing an
+// already-dead module is a no-op. With no survivor the memory is lost and an
+// error is returned.
+func (s *Shared) FailModule(m int) error {
+	if m < 0 || m >= s.modules {
+		return fmt.Errorf("mem: FailModule(%d) outside [0,%d)", m, s.modules)
+	}
+	if s.failed[m] {
+		return nil
+	}
+	s.failed[m] = true
+	spare := -1
+	for i := 0; i < s.modules; i++ {
+		if !s.failed[i] {
+			spare = i
+			break
+		}
+	}
+	if spare < 0 {
+		return fmt.Errorf("mem: module %d failed and no surviving module remains", m)
+	}
+	for i, t := range s.remap {
+		if t == m {
+			s.remap[i] = spare
+		}
+	}
+	s.failovers++
+	return nil
 }
 
 // InRange reports whether addr is a valid word address.

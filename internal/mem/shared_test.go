@@ -251,3 +251,53 @@ func TestLocalMemory(t *testing.T) {
 		t.Fatalf("local stats = %d %d", r, w)
 	}
 }
+
+func TestModuleFailover(t *testing.T) {
+	s := NewShared(64, 4, Arbitrary)
+	for a := int64(0); a < 8; a++ {
+		if s.ModuleOf(a) != s.HomeModuleOf(a) {
+			t.Fatal("remap must start as identity")
+		}
+	}
+	s.Poke(2, 77) // addr 2 interleaves onto module 2
+	if err := s.FailModule(2); err != nil {
+		t.Fatal(err)
+	}
+	if !s.ModuleFailed(2) || s.Failovers() != 1 {
+		t.Fatal("failure not recorded")
+	}
+	if got := s.ModuleOf(2); got != 0 {
+		t.Fatalf("module 2 traffic served by %d, want spare 0", got)
+	}
+	if s.HomeModuleOf(2) != 2 {
+		t.Fatal("home module must not change on failover")
+	}
+	// Failover never touches contents: the spare holds the mirror.
+	if got := s.Peek(2); got != 77 {
+		t.Fatalf("failover lost data: %d", got)
+	}
+	// Chained failure: the spare dies too; both remap to the next survivor.
+	if err := s.FailModule(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.ModuleOf(2) != 1 || s.ModuleOf(0) != 1 {
+		t.Fatalf("chained failover: ModuleOf(2)=%d ModuleOf(0)=%d, want 1,1", s.ModuleOf(2), s.ModuleOf(0))
+	}
+	// Idempotent on an already-dead module.
+	if err := s.FailModule(2); err != nil || s.Failovers() != 2 {
+		t.Fatalf("re-failing dead module: err=%v failovers=%d", err, s.Failovers())
+	}
+}
+
+func TestModuleFailoverUnrecoverable(t *testing.T) {
+	s := NewShared(16, 2, Arbitrary)
+	if err := s.FailModule(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailModule(1); err == nil {
+		t.Fatal("last surviving module failed silently")
+	}
+	if err := s.FailModule(7); err == nil {
+		t.Fatal("out-of-range module accepted")
+	}
+}

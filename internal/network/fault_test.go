@@ -1,0 +1,220 @@
+package network
+
+import (
+	"errors"
+	"testing"
+
+	"tcfpram/internal/fault"
+)
+
+// faultyCfg is an 8x8 mesh with a moderately hostile but recoverable plan.
+func faultyCfg(seed int64) Config {
+	return Config{
+		Kind: Mesh2D, Width: 8, Height: 8, LinkCapacity: 2,
+		Faults: &fault.Plan{
+			Seed:        seed,
+			DropRate:    0.01,
+			CorruptRate: 0.005,
+			Links: []fault.LinkFault{
+				{Node: 9, Dir: 0, Interval: fault.Interval{From: 4, To: 200}},
+				{Node: 36, Dir: 3, Interval: fault.Interval{From: 0, To: 150}},
+			},
+			Routers: []fault.RouterFault{
+				{Node: 20, Interval: fault.Interval{From: 10, To: 40}},
+			},
+			RetryTimeout: 8,
+			MaxRetries:   16,
+		},
+	}
+}
+
+func TestFaultyNetworkStillDeliversEverything(t *testing.T) {
+	s, err := RandomTraffic(faultyCfg(3), 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Delivered != s.Injected {
+		t.Fatalf("delivered %d of %d under recoverable faults", s.Delivered, s.Injected)
+	}
+	if s.Retransmits == 0 {
+		t.Fatal("plan with 1% drop rate caused no retransmissions; faults did not fire")
+	}
+	if s.Reroutes == 0 {
+		t.Fatal("dead links caused no re-routes; adaptive routing did not fire")
+	}
+	if s.Corrupted == 0 {
+		t.Fatal("corruption rate 0.5% rejected no deliveries")
+	}
+}
+
+func TestFaultsInflateLatencyOnly(t *testing.T) {
+	clean, err := RandomTraffic(Config{Kind: Mesh2D, Width: 8, Height: 8, LinkCapacity: 2}, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := RandomTraffic(faultyCfg(3), 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Delivered != clean.Delivered {
+		t.Fatalf("delivery count changed: %d vs %d", faulty.Delivered, clean.Delivered)
+	}
+	if faulty.AvgLatency <= clean.AvgLatency {
+		t.Fatalf("faults should inflate latency: %.2f vs clean %.2f", faulty.AvgLatency, clean.AvgLatency)
+	}
+	if faulty.Cycles <= clean.Cycles {
+		t.Fatalf("faults should inflate cycles: %d vs clean %d", faulty.Cycles, clean.Cycles)
+	}
+}
+
+func TestFaultStatsDeterministicInSeed(t *testing.T) {
+	a, err := RandomTraffic(faultyCfg(11), 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomTraffic(faultyCfg(11), 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different stats:\n%+v\n%+v", a, b)
+	}
+	c, err := RandomTraffic(faultyCfg(12), 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different fault seeds produced identical stats; plan seed unused")
+	}
+}
+
+func TestDeadLinkReRoutesAroundFault(t *testing.T) {
+	// Kill the east link out of node 0 forever; a 0->3 packet on a 4x1-ish
+	// mesh row must detour through another row and still arrive.
+	cfg := Config{
+		Kind: Mesh2D, Width: 4, Height: 2, LinkCapacity: 1,
+		Faults: &fault.Plan{
+			Seed:  1,
+			Links: []fault.LinkFault{{Node: 0, Dir: dirEast, Interval: fault.Interval{From: 0, To: 0}}},
+		},
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustInject(t, n, 0, 3)
+	mustDrain(t, n, 1000)
+	p := n.Delivered()[0]
+	if p.Hops() <= 3 {
+		t.Fatalf("hops %d: packet cannot have crossed the dead link minimally", p.Hops())
+	}
+	if n.Stats().Misroutes == 0 {
+		t.Fatal("detour around a permanently dead link must count misroutes")
+	}
+}
+
+func TestIsolatedDestinationUnrecoverable(t *testing.T) {
+	// 2x1 mesh: node 0's only link east is dead forever, so 0->1 can never
+	// be delivered; the retry budget must exhaust into an error, not hang.
+	cfg := Config{
+		Kind: Mesh2D, Width: 2, Height: 1, LinkCapacity: 1,
+		Faults: &fault.Plan{
+			Seed:         1,
+			Links:        []fault.LinkFault{{Node: 0, Dir: dirEast, Interval: fault.Interval{From: 0, To: 0}}},
+			RetryTimeout: 2,
+			MaxRetries:   3,
+		},
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Inject(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err = n.Drain(100000)
+	if err == nil {
+		t.Fatal("permanently partitioned traffic should be unrecoverable")
+	}
+	if !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("want ErrUnrecoverable, got %v", err)
+	}
+}
+
+func TestRouterStallDelaysTraffic(t *testing.T) {
+	stall := Config{
+		Kind: Mesh2D, Width: 4, Height: 4, LinkCapacity: 1,
+		Faults: &fault.Plan{
+			Seed:    1,
+			Routers: []fault.RouterFault{{Node: 1, Interval: fault.Interval{From: 0, To: 50}}},
+		},
+	}
+	n, err := New(stall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustInject(t, n, 0, 2) // dimension-order path passes through node 1
+	mustDrain(t, n, 10000)
+	p := n.Delivered()[0]
+	if p.Latency() <= 4 {
+		t.Fatalf("latency %d: stalled router did not delay the packet", p.Latency())
+	}
+	if n.Stats().RouterStalls == 0 {
+		t.Fatal("router stall cycles not counted")
+	}
+}
+
+func TestCorruptedDeliveriesRetransmit(t *testing.T) {
+	cfg := Config{
+		Kind: Mesh2D, Width: 4, Height: 4, LinkCapacity: 2,
+		Faults: &fault.Plan{
+			Seed:         5,
+			CorruptRate:  0.2,
+			RetryTimeout: 4,
+			MaxRetries:   20,
+		},
+	}
+	s, err := RandomTraffic(cfg, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Corrupted == 0 {
+		t.Fatal("20% corruption rate rejected nothing")
+	}
+	if s.Delivered != s.Injected {
+		t.Fatalf("corruption must be recovered: %d of %d delivered", s.Delivered, s.Injected)
+	}
+	if s.Retransmits < s.Corrupted {
+		t.Fatalf("every corrupted delivery retransmits: %d < %d", s.Retransmits, s.Corrupted)
+	}
+}
+
+func TestFaultFreeBehaviorUnchangedByNilPlan(t *testing.T) {
+	// A Config with a zero-value plan must behave identically to no plan.
+	clean, err := RandomTraffic(Config{Kind: Torus2D, Width: 6, Height: 6, LinkCapacity: 2}, 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := RandomTraffic(Config{Kind: Torus2D, Width: 6, Height: 6, LinkCapacity: 2,
+		Faults: &fault.Plan{Seed: 123}}, 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean != zero {
+		t.Fatalf("zero-value plan changed behavior:\n%+v\n%+v", clean, zero)
+	}
+}
+
+func TestRandomPlansDrainOnTorus(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		cfg := Config{Kind: Torus2D, Width: 6, Height: 6, LinkCapacity: 2,
+			Faults: fault.Random(seed, 36, 0)}
+		s, err := RandomTraffic(cfg, 8, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if s.Delivered != s.Injected {
+			t.Fatalf("seed %d: %d of %d delivered", seed, s.Delivered, s.Injected)
+		}
+	}
+}

@@ -9,6 +9,27 @@ import (
 
 func mesh4x4() Config { return Config{Kind: Mesh2D, Width: 4, Height: 4, LinkCapacity: 1} }
 
+// mustInject injects and fails the test on rejection or error.
+func mustInject(t *testing.T, n *Network, src, dst int) {
+	t.Helper()
+	ok, err := n.Inject(src, dst)
+	if err != nil || !ok {
+		t.Fatalf("inject %d->%d: ok=%v err=%v", src, dst, ok, err)
+	}
+}
+
+// mustDrain drains and fails the test on a stuck network or error.
+func mustDrain(t *testing.T, n *Network, maxCycles int64) {
+	t.Helper()
+	ok, err := n.Drain(maxCycles)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !ok {
+		t.Fatalf("drain stuck with %d in flight", n.InFlight())
+	}
+}
+
 func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{Width: 0, Height: 4}); err == nil {
 		t.Fatal("zero width accepted")
@@ -24,10 +45,8 @@ func TestSinglePacketLatencyEqualsDistancePlusConstant(t *testing.T) {
 	for src := 0; src < 16; src++ {
 		for dst := 0; dst < 16; dst++ {
 			n, _ := New(mesh4x4())
-			n.Inject(src, dst)
-			if !n.Drain(1000) {
-				t.Fatalf("packet %d->%d stuck", src, dst)
-			}
+			mustInject(t, n, src, dst)
+			mustDrain(t, n, 1000)
 			p := n.Delivered()[0]
 			if p.Hops() != topo.Distance(src, dst) {
 				t.Fatalf("%d->%d hops %d, want %d", src, dst, p.Hops(), topo.Distance(src, dst))
@@ -44,10 +63,8 @@ func TestSinglePacketLatencyEqualsDistancePlusConstant(t *testing.T) {
 
 func TestTorusUsesWraparound(t *testing.T) {
 	n, _ := New(Config{Kind: Torus2D, Width: 4, Height: 4, LinkCapacity: 1})
-	n.Inject(0, 3) // distance 1 around the wrap
-	if !n.Drain(100) {
-		t.Fatal("stuck")
-	}
+	mustInject(t, n, 0, 3) // distance 1 around the wrap
+	mustDrain(t, n, 100)
 	if got := n.Delivered()[0].Hops(); got != 1 {
 		t.Fatalf("torus hops = %d, want 1 (wraparound)", got)
 	}
@@ -69,12 +86,10 @@ func TestAllDeliveredWithExactHops(t *testing.T) {
 	}
 	// Hop exactness on a fixed instance.
 	n, _ := New(Config{Kind: Mesh2D, Width: 5, Height: 3, LinkCapacity: 1})
-	n.Inject(0, 14)
-	n.Inject(14, 0)
-	n.Inject(7, 7)
-	if !n.Drain(1000) {
-		t.Fatal("stuck")
-	}
+	mustInject(t, n, 0, 14)
+	mustInject(t, n, 14, 0)
+	mustInject(t, n, 7, 7)
+	mustDrain(t, n, 1000)
 	for _, p := range n.Delivered() {
 		if p.Hops() != topo.Distance(p.Src, p.Dst) {
 			t.Fatalf("%d->%d hops %d != distance %d", p.Src, p.Dst, p.Hops(), topo.Distance(p.Src, p.Dst))
@@ -84,10 +99,8 @@ func TestAllDeliveredWithExactHops(t *testing.T) {
 
 func TestSelfTrafficDeliversLocally(t *testing.T) {
 	n, _ := New(mesh4x4())
-	n.Inject(5, 5)
-	if !n.Drain(10) {
-		t.Fatal("local packet stuck")
-	}
+	mustInject(t, n, 5, 5)
+	mustDrain(t, n, 10)
 	p := n.Delivered()[0]
 	if p.Hops() != 0 || p.Latency() != 2 {
 		t.Fatalf("local delivery hops=%d latency=%d", p.Hops(), p.Latency())
@@ -99,11 +112,9 @@ func TestCongestionRaisesLatency(t *testing.T) {
 	// latency must exceed the uncontended average distance.
 	n, _ := New(mesh4x4())
 	for src := 1; src < 16; src++ {
-		n.Inject(src, 0)
+		mustInject(t, n, src, 0)
 	}
-	if !n.Drain(10000) {
-		t.Fatal("hotspot traffic stuck")
-	}
+	mustDrain(t, n, 10000)
 	s := n.Stats()
 	if s.AvgLatency <= s.AvgHops+2 {
 		t.Fatalf("hotspot latency %.2f should exceed uncontended %.2f", s.AvgLatency, s.AvgHops+2)
@@ -145,7 +156,11 @@ func TestBoundedInjectionQueueDrops(t *testing.T) {
 	n, _ := New(Config{Kind: Mesh2D, Width: 2, Height: 2, LinkCapacity: 1, InjectionQueue: 2})
 	ok := 0
 	for i := 0; i < 10; i++ {
-		if n.Inject(0, 3) {
+		accepted, err := n.Inject(0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accepted {
 			ok++
 		}
 	}
@@ -157,14 +172,17 @@ func TestBoundedInjectionQueueDrops(t *testing.T) {
 	}
 }
 
-func TestInjectPanicsOutOfRange(t *testing.T) {
+func TestInjectOutOfRangeIsError(t *testing.T) {
 	n, _ := New(mesh4x4())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+	for _, pair := range [][2]int{{0, 99}, {-1, 0}, {16, 0}, {0, -5}} {
+		if _, err := n.Inject(pair[0], pair[1]); err == nil {
+			t.Fatalf("inject %d->%d accepted", pair[0], pair[1])
 		}
-	}()
-	n.Inject(0, 99)
+	}
+	// Errors must not corrupt the stats.
+	if s := n.Stats(); s.Injected != 0 || s.Dropped != 0 {
+		t.Fatalf("failed injects counted: %+v", s)
+	}
 }
 
 func TestStatsFields(t *testing.T) {
@@ -177,6 +195,9 @@ func TestStatsFields(t *testing.T) {
 	}
 	if s.AvgLatency <= 0 || s.MaxLatency < int64(s.AvgLatency) || s.Throughput <= 0 {
 		t.Fatalf("bad stats: %+v", s)
+	}
+	if s.Retransmits != 0 || s.Reroutes != 0 || s.Corrupted != 0 {
+		t.Fatalf("fault counters nonzero without a fault plan: %+v", s)
 	}
 	if Mesh2D.String() != "mesh" || Torus2D.String() != "torus" {
 		t.Fatal("kind names")

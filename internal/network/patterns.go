@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 	"math/bits"
+	"strings"
 )
 
 // Pattern generates a destination for each source node — the classic NoC
@@ -40,28 +41,42 @@ func (p Pattern) String() string {
 // Patterns lists all defined traffic patterns.
 func Patterns() []Pattern { return []Pattern{Transpose, BitReversal, Neighbor, Tornado} }
 
+// ParsePattern resolves a pattern name.
+func ParsePattern(s string) (Pattern, error) {
+	for _, p := range Patterns() {
+		if strings.EqualFold(s, p.String()) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("network: unknown traffic pattern %q (want transpose, bit-reversal, neighbor or tornado)", s)
+}
+
 // Dest computes the destination of src under the pattern on a w×h geometry.
-func (p Pattern) Dest(src, w, h int) int {
+// Undefined patterns and non-positive geometries are errors.
+func (p Pattern) Dest(src, w, h int) (int, error) {
+	if w <= 0 || h <= 0 || src < 0 || src >= w*h {
+		return 0, fmt.Errorf("network: %s source %d outside %dx%d geometry", p, src, w, h)
+	}
 	x, y := src%w, src/w
 	switch p {
 	case Transpose:
 		// Clamp for non-square geometries.
 		nx, ny := y%w, x%h
-		return ny*w + nx
+		return ny*w + nx, nil
 	case BitReversal:
 		n := w * h
 		width := bits.Len(uint(n - 1))
 		if width == 0 {
-			return src
+			return src, nil
 		}
 		rev := int(bits.Reverse(uint(src)) >> (bits.UintSize - width))
-		return rev % n
+		return rev % n, nil
 	case Neighbor:
-		return y*w + (x+1)%w
+		return y*w + (x+1)%w, nil
 	case Tornado:
-		return ((y+h/2)%h)*w + (x+w/2)%w
+		return ((y+h/2)%h)*w + (x+w/2)%w, nil
 	}
-	panic("network: unknown pattern")
+	return 0, fmt.Errorf("network: unknown pattern %d", int(p))
 }
 
 // PatternTraffic injects perNode rounds of the pattern and drains; every
@@ -73,11 +88,23 @@ func PatternTraffic(cfg Config, p Pattern, perNode int) (Stats, error) {
 	}
 	for round := 0; round < perNode; round++ {
 		for src := 0; src < n.Size(); src++ {
-			n.Inject(src, p.Dest(src, cfg.Width, cfg.Height))
+			dst, err := p.Dest(src, cfg.Width, cfg.Height)
+			if err != nil {
+				return n.Stats(), err
+			}
+			if _, err := n.Inject(src, dst); err != nil {
+				return n.Stats(), err
+			}
 		}
-		n.Step()
+		if err := n.Step(); err != nil {
+			return n.Stats(), err
+		}
 	}
-	if !n.Drain(int64(perNode*n.Size())*10 + 10000) {
+	ok, err := n.Drain(n.drainBudget(perNode * n.Size()))
+	if err != nil {
+		return n.Stats(), err
+	}
+	if !ok {
 		return n.Stats(), fmt.Errorf("network: %s drain did not complete (%d in flight)", p, n.InFlight())
 	}
 	return n.Stats(), nil

@@ -2,12 +2,22 @@ package network
 
 import "testing"
 
+// dest is the error-free Dest for valid test geometries.
+func dest(t *testing.T, p Pattern, src, w, h int) int {
+	t.Helper()
+	d, err := p.Dest(src, w, h)
+	if err != nil {
+		t.Fatalf("%s dest(%d, %dx%d): %v", p, src, w, h, err)
+	}
+	return d
+}
+
 func TestPatternDestsInRange(t *testing.T) {
 	for _, p := range Patterns() {
 		for _, dims := range [][2]int{{4, 4}, {8, 8}, {5, 3}, {1, 1}, {2, 8}} {
 			w, h := dims[0], dims[1]
 			for src := 0; src < w*h; src++ {
-				d := p.Dest(src, w, h)
+				d := dest(t, p, src, w, h)
 				if d < 0 || d >= w*h {
 					t.Fatalf("%s on %dx%d: dest(%d) = %d out of range", p, w, h, src, d)
 				}
@@ -19,35 +29,62 @@ func TestPatternDestsInRange(t *testing.T) {
 	}
 }
 
+func TestDestRejectsMalformedInputs(t *testing.T) {
+	if _, err := Pattern(99).Dest(0, 4, 4); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+	if _, err := Transpose.Dest(16, 4, 4); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, err := Transpose.Dest(0, 0, 4); err == nil {
+		t.Fatal("zero-width geometry accepted")
+	}
+}
+
+func TestParsePattern(t *testing.T) {
+	for _, p := range Patterns() {
+		got, err := ParsePattern(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePattern(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if got, err := ParsePattern("TORNADO"); err != nil || got != Tornado {
+		t.Fatalf("case-insensitive parse failed: %v, %v", got, err)
+	}
+	if _, err := ParsePattern("zigzag"); err == nil {
+		t.Fatal("unknown pattern name accepted")
+	}
+}
+
 func TestTransposeOnSquare(t *testing.T) {
 	// (x,y) -> (y,x) on 4x4: node 1 = (1,0) -> (0,1) = node 4.
-	if got := Transpose.Dest(1, 4, 4); got != 4 {
+	if got := dest(t, Transpose, 1, 4, 4); got != 4 {
 		t.Fatalf("transpose dest = %d, want 4", got)
 	}
-	if got := Transpose.Dest(5, 4, 4); got != 5 { // diagonal fixed point
+	if got := dest(t, Transpose, 5, 4, 4); got != 5 { // diagonal fixed point
 		t.Fatalf("diagonal = %d, want 5", got)
 	}
 }
 
 func TestBitReversal(t *testing.T) {
 	// 16 nodes: node 1 (0001) -> 8 (1000).
-	if got := BitReversal.Dest(1, 4, 4); got != 8 {
+	if got := dest(t, BitReversal, 1, 4, 4); got != 8 {
 		t.Fatalf("bit reversal = %d, want 8", got)
 	}
-	if got := BitReversal.Dest(0, 4, 4); got != 0 {
+	if got := dest(t, BitReversal, 0, 4, 4); got != 0 {
 		t.Fatalf("bit reversal of 0 = %d", got)
 	}
 }
 
 func TestNeighborWraps(t *testing.T) {
-	if got := Neighbor.Dest(3, 4, 4); got != 0 {
+	if got := dest(t, Neighbor, 3, 4, 4); got != 0 {
 		t.Fatalf("neighbor wrap = %d, want 0", got)
 	}
 }
 
 func TestTornadoHalfway(t *testing.T) {
 	// 4x4: (0,0) -> (2,2) = node 10.
-	if got := Tornado.Dest(0, 4, 4); got != 10 {
+	if got := dest(t, Tornado, 0, 4, 4); got != 10 {
 		t.Fatalf("tornado = %d, want 10", got)
 	}
 }

@@ -29,9 +29,11 @@
 package tcfpram
 
 import (
+	"context"
 	"fmt"
 
 	"tcfpram/internal/codegen"
+	"tcfpram/internal/fault"
 	"tcfpram/internal/isa"
 	"tcfpram/internal/machine"
 	"tcfpram/internal/trace"
@@ -70,6 +72,30 @@ func ParseVariant(s string) (Variant, error) { return variant.ParseKind(s) }
 // Config describes a machine instance; see DefaultConfig for a ready-made
 // one.
 type Config = machine.Config
+
+// FaultPlan is a deterministic, seeded fault schedule for Config.FaultPlan:
+// reference loss with retransmission, route detours, and memory-module
+// fail-stop with spare failover. Recoverable plans change cycle counts only;
+// results are identical to the fault-free run.
+type FaultPlan = fault.Plan
+
+// FaultInterval is a half-open activity window of a fault.
+type FaultInterval = fault.Interval
+
+// RandomFaultPlan builds a recoverable fault plan for a machine with the
+// given group count, deterministic in seed.
+func RandomFaultPlan(seed int64, groups int) *FaultPlan {
+	return fault.Random(seed, groups, groups)
+}
+
+// The error taxonomy of Run/RunContext. Abnormal stops wrap exactly one of
+// these; dispatch with errors.Is.
+var (
+	ErrDeadlock           = machine.ErrDeadlock
+	ErrMaxSteps           = machine.ErrMaxSteps
+	ErrCanceled           = machine.ErrCanceled
+	ErrFaultUnrecoverable = machine.ErrFaultUnrecoverable
+)
 
 // Stats are the measured execution statistics.
 type Stats = machine.Stats
@@ -137,6 +163,11 @@ func (m *Machine) LoadBinary(data []byte) error {
 
 // Run executes the program to completion and returns the statistics.
 func (m *Machine) Run() (*Stats, error) { return m.inner.Run() }
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// between machine steps, and a canceled run stops promptly with an error
+// wrapping ErrCanceled.
+func (m *Machine) RunContext(ctx context.Context) (*Stats, error) { return m.inner.RunContext(ctx) }
 
 // Step advances one synchronous machine step (Boot is implicit on first
 // use via Run; call Boot explicitly when stepping manually).

@@ -1,6 +1,11 @@
 package tcfpram
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
 	"strings"
 	"testing"
 )
@@ -262,5 +267,65 @@ func TestFacadeErrorPaths(t *testing.T) {
 	}
 	if _, err := m.Global("x"); err == nil {
 		t.Fatal("Global without program accepted")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	m, err := NewMachine(DefaultConfig(SingleInstruction))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadAssembly("spin", "main:\n    JMP main\n"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = m.RunContext(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v; run did not stop promptly", d)
+	}
+}
+
+func TestRunContextAlreadyCanceled(t *testing.T) {
+	m, err := NewMachine(DefaultConfig(SingleInstruction))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadAssembly("spin", "main:\n    JMP main\n"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.RunContext(ctx); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+func TestFaultPlanPreservesResults(t *testing.T) {
+	clean, cleanStats, err := RunSource(DefaultConfig(SingleInstruction), "add", addSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(SingleInstruction)
+	cfg.FaultPlan = RandomFaultPlan(7, cfg.Groups)
+	faulty, faultyStats, err := RunSource(cfg, "add", addSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := clean.Array("c")
+	b, _ := faulty.Array("c")
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("faults changed results: %v vs %v", a, b)
+	}
+	if faultyStats.Cycles <= cleanStats.Cycles {
+		t.Fatalf("recoverable faults should cost cycles: %d vs %d",
+			faultyStats.Cycles, cleanStats.Cycles)
 	}
 }
