@@ -2,7 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test race bench table figures net examples fuzz clean
+.PHONY: all build test race bench benchall table figures net examples fuzz clean
+
+# Step-engine benchmark sweep recorded in BENCH_step_engine.json.
+BENCH_PATTERN ?= BenchmarkFig7|BenchmarkS4a_VectorAdd|BenchmarkEngine_Step
+BENCH_LABEL   ?= local
+BENCH_TIME    ?= 400x
 
 all: build test
 
@@ -16,7 +21,13 @@ test:
 race:
 	$(GO) test -race -count=1 ./...
 
+# bench runs the step-engine benchmarks (allocations reported) and merges
+# the labelled result into BENCH_step_engine.json for before/after diffing.
 bench:
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) -run '^$$' . \
+		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -o BENCH_step_engine.json
+
+benchall:
 	$(GO) test -bench=. -benchmem ./...
 
 table:

@@ -29,6 +29,7 @@ func report(b *testing.B, m *machine.Machine) {
 
 func benchWorkload(b *testing.B, kind variant.Kind, w workload.Workload, tweak func(*machine.Config)) {
 	b.Helper()
+	b.ReportAllocs()
 	var last *machine.Machine
 	for i := 0; i < b.N; i++ {
 		last = exper.MustRun(kind, w, tweak)
@@ -278,6 +279,45 @@ func BenchmarkEngine_StepThroughput(b *testing.B) {
 				workload.VectorAdd(workload.StyleTCF, 4096, 0, 0),
 				func(c *machine.Config) { c.Parallel = par })
 		})
+	}
+}
+
+// BenchmarkEngine_StepLoop measures the steady-state cost of one machine
+// step on a long-lived machine (construction excluded): a thick loop body
+// that stores every iteration. With tracing disabled this must run at
+// zero allocations per step — the arenas absorb all step-local state.
+func BenchmarkEngine_StepLoop(b *testing.B) {
+	src := `
+shared int c[64] @ 300;
+func main() {
+    #64;
+    for (int i = 0; i < 1000000000; i += 1) {
+        c[tid] = c[tid] + i;
+    }
+}
+`
+	m, err := NewMachine(DefaultConfig(SingleInstruction))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.LoadSource("bench", src); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Boot(); err != nil {
+		b.Fatal(err)
+	}
+	// Warm the arenas past their high-water mark before measuring.
+	for i := 0; i < 64; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

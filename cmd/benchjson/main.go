@@ -1,0 +1,154 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document so benchmark runs can be committed, diffed and compared across
+// commits. It reads benchmark output from stdin and merges the parsed run
+// into the JSON file given by -o: an existing run with the same -label is
+// replaced, otherwise the run is appended. This is how BENCH_step_engine.json
+// keeps a "before" and an "after" entry for a performance PR.
+//
+// Usage:
+//
+//	go test -bench 'Fig|S4|Engine' -benchmem -run '^$' . | benchjson -label pr3-after -o BENCH_step_engine.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line: the benchmark name (with
+// any -cpu suffix retained) and every reported metric, keyed by unit
+// ("ns/op", "B/op", "allocs/op", plus custom ReportMetric units such as
+// "cycles" or "util").
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Run is one labelled benchmark sweep.
+type Run struct {
+	Label      string      `json:"label"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Document is the top-level JSON file: an ordered list of labelled runs.
+type Document struct {
+	Runs []Run `json:"runs"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	label := fs.String("label", "run", "label for this benchmark run")
+	out := fs.String("o", "", "JSON file to merge the run into (default: stdout, no merge)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	r, err := parse(in)
+	if err != nil {
+		return err
+	}
+	r.Label = *label
+	if len(r.Benchmarks) == 0 {
+		return errors.New("no benchmark lines found on stdin")
+	}
+
+	var doc Document
+	if *out != "" {
+		if data, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(data, &doc); err != nil {
+				return fmt.Errorf("%s: %w", *out, err)
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	replaced := false
+	for i := range doc.Runs {
+		if doc.Runs[i].Label == r.Label {
+			doc.Runs[i] = r
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		doc.Runs = append(doc.Runs, r)
+	}
+
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// parse reads `go test -bench` output, collecting the environment header
+// (goos/goarch/cpu) and every benchmark result line.
+func parse(in io.Reader) (Run, error) {
+	var r Run
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			r.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			r.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			r.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if !ok {
+				continue
+			}
+			r.Benchmarks = append(r.Benchmarks, b)
+		}
+	}
+	return r, sc.Err()
+}
+
+// parseLine parses one result line: "BenchmarkName-8  400  22591 ns/op
+// 12.00 maxstepops  13714 B/op  87 allocs/op". Fields after the iteration
+// count come in (value, unit) pairs.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

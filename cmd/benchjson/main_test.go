@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: tcfpram
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig7_SingleInstruction 	     400	     22591 ns/op	        12.00 maxstepops	         6.000 steps	   13714 B/op	      87 allocs/op
+BenchmarkS4a_VectorAdd/tcf/64   	     400	     31588 ns/op	       373.0 cycles	         8.000 fetches	         8.000 steps	         0.2165 util	   44516 B/op	      74 allocs/op
+PASS
+ok  	tcfpram	0.642s
+`
+
+func TestParse(t *testing.T) {
+	r, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Goos != "linux" || r.Goarch != "amd64" || !strings.Contains(r.CPU, "Xeon") {
+		t.Fatalf("bad env header: %+v", r)
+	}
+	if len(r.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(r.Benchmarks))
+	}
+	fig7 := r.Benchmarks[0]
+	if fig7.Name != "BenchmarkFig7_SingleInstruction" || fig7.Iterations != 400 {
+		t.Fatalf("bad fig7: %+v", fig7)
+	}
+	if fig7.Metrics["ns/op"] != 22591 || fig7.Metrics["allocs/op"] != 87 || fig7.Metrics["maxstepops"] != 12 {
+		t.Fatalf("bad fig7 metrics: %v", fig7.Metrics)
+	}
+	s4a := r.Benchmarks[1]
+	if s4a.Name != "BenchmarkS4a_VectorAdd/tcf/64" || s4a.Metrics["util"] != 0.2165 {
+		t.Fatalf("bad s4a: %+v", s4a)
+	}
+}
+
+func TestMergeReplacesSameLabel(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+
+	if err := run([]string{"-label", "before", "-o", out}, strings.NewReader(sample)); err != nil {
+		t.Fatal(err)
+	}
+	after := strings.ReplaceAll(sample, "22591", "9000")
+	if err := run([]string{"-label", "after", "-o", out}, strings.NewReader(after)); err != nil {
+		t.Fatal(err)
+	}
+	// Re-running a label replaces the earlier run instead of appending.
+	again := strings.ReplaceAll(sample, "22591", "8000")
+	if err := run([]string{"-label", "after", "-o", out}, strings.NewReader(again)); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 2 {
+		t.Fatalf("got %d runs, want 2: %s", len(doc.Runs), data)
+	}
+	if doc.Runs[0].Label != "before" || doc.Runs[1].Label != "after" {
+		t.Fatalf("bad labels: %s %s", doc.Runs[0].Label, doc.Runs[1].Label)
+	}
+	if got := doc.Runs[1].Benchmarks[0].Metrics["ns/op"]; got != 8000 {
+		t.Fatalf("after run not replaced: ns/op = %v, want 8000", got)
+	}
+}
+
+func TestEmptyInputFails(t *testing.T) {
+	if err := run(nil, strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("want error on input without benchmark lines")
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"tcfpram/internal/fault"
 	"tcfpram/internal/network"
+	"tcfpram/internal/profiling"
 )
 
 func main() {
@@ -37,7 +38,19 @@ func run() error {
 	seed := flag.Int64("seed", 1, "traffic and fault seed")
 	patterns := flag.String("patterns", "", "comma-separated traffic patterns (default: all)")
 	faults := flag.Bool("faults", false, "sweep fault intensity and report degradation curves")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "netbench:", perr)
+		}
+	}()
 
 	pats, err := parsePatterns(*patterns)
 	if err != nil {

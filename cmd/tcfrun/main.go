@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"tcfpram"
+	"tcfpram/internal/profiling"
 )
 
 func main() {
@@ -41,9 +42,20 @@ func run(args []string, out io.Writer) error {
 	showDis := fs.Bool("dis", false, "print the compiled program listing")
 	showMem := fs.String("mem", "", "dump shared memory range, e.g. -mem 300:8")
 	svgPath := fs.String("svg", "", "write the schedule as an SVG file (implies tracing)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "tcfrun:", perr)
+		}
+	}()
 	if fs.NArg() != 1 {
 		return fmt.Errorf("expected exactly one program file (or '-' for stdin)")
 	}

@@ -45,8 +45,18 @@ type result struct {
 // free) and returns its observable result plus the statistics.
 func run(tb testing.TB, c *codegen.Compiled, kind variant.Kind, plan *fault.Plan) (result, *machine.Stats) {
 	tb.Helper()
+	return runCfg(tb, c, kind, plan, nil)
+}
+
+// runCfg is run with an extra configuration hook applied before the machine
+// is built.
+func runCfg(tb testing.TB, c *codegen.Compiled, kind variant.Kind, plan *fault.Plan, tweak func(*machine.Config)) (result, *machine.Stats) {
+	tb.Helper()
 	cfg := machine.Default(kind)
 	cfg.FaultPlan = plan
+	if tweak != nil {
+		tweak(&cfg)
+	}
 	m, err := machine.New(cfg)
 	if err != nil {
 		tb.Fatal(err)
@@ -133,6 +143,53 @@ func TestChaosEquivalence(t *testing.T) {
 	}
 	if extraCycles <= 0 {
 		t.Fatal("faults cost no cycles in aggregate; recovery is suspiciously free")
+	}
+}
+
+// TestChaosLaneParallelDifferential proves the pooled step engine with lane
+// chunking forced on (threshold 1 splits every sliceable thick instruction)
+// is bit-identical to the serial engine on every corpus program — with and
+// without recoverable fault plans, so chunk-level refSeq bases reproduce the
+// serial fault-decision stream exactly.
+func TestChaosLaneParallelDifferential(t *testing.T) {
+	groups := machine.Default(variant.SingleInstruction).Groups
+	plans := []*fault.Plan{
+		nil,
+		fault.Random(1, groups, groups),
+		fault.Random(2, groups, groups),
+	}
+	laneParallel := func(c *machine.Config) {
+		c.Parallel = true
+		c.LaneParallelThreshold = 1
+	}
+	var laneChunks int64
+	for _, file := range corpusFiles(t) {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			c := compile(t, file)
+			for i, plan := range plans {
+				serial, serialStats := run(t, c, variant.SingleInstruction, plan)
+				par, parStats := runCfg(t, c, variant.SingleInstruction, plan, laneParallel)
+				if !reflect.DeepEqual(serial.outputs, par.outputs) {
+					t.Fatalf("plan %d: outputs diverged:\nserial   %v\nparallel %v",
+						i, serial.outputs, par.outputs)
+				}
+				if !reflect.DeepEqual(serial.memory, par.memory) {
+					t.Fatalf("plan %d: shared memory diverged", i)
+				}
+				// All model-level statistics must match; only the wall-clock
+				// chunk counter may differ between the two engines.
+				laneChunks += parStats.LaneChunks
+				a, b := *serialStats, *parStats
+				a.LaneChunks, b.LaneChunks = 0, 0
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("plan %d: stats diverged:\nserial   %+v\nparallel %+v", i, a, b)
+				}
+			}
+		})
+	}
+	if laneChunks == 0 {
+		t.Fatal("lane chunking never engaged across the corpus; the differential proved nothing")
 	}
 }
 

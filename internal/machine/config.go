@@ -99,6 +99,14 @@ type Config struct {
 	// Results are identical either way; this only changes wall-clock.
 	Parallel bool
 
+	// LaneParallelThreshold gates lane-level parallelism inside a group:
+	// when Parallel is set and a sliceable thick instruction spans at least
+	// this many lanes, the lane range is partitioned across the worker pool
+	// with per-chunk buffers merged in lane order, keeping results
+	// bit-identical to serial execution. 0 defaults to 256; negative
+	// disables lane parallelism (groups still parallelize).
+	LaneParallelThreshold int
+
 	// TraceEnabled records per-slice execution for the trace package.
 	TraceEnabled bool
 }
@@ -168,6 +176,9 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.MaxSteps <= 0 {
 		c.MaxSteps = 1 << 22
+	}
+	if c.LaneParallelThreshold == 0 {
+		c.LaneParallelThreshold = 256
 	}
 	if c.WatchdogSteps < 0 {
 		return c, fmt.Errorf("machine: negative WatchdogSteps %d", c.WatchdogSteps)

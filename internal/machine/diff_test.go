@@ -188,6 +188,10 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 		dp := genDiffProgram(rng)
 		runDiff(t, dp, variant.SingleInstruction, nil)
 		runDiff(t, dp, variant.SingleInstruction, func(c *Config) { c.Parallel = true })
+		runDiff(t, dp, variant.SingleInstruction, func(c *Config) {
+			c.Parallel = true
+			c.LaneParallelThreshold = 4 // force lane chunking at thickness 11
+		})
 		runDiff(t, dp, variant.MultiInstruction, nil)
 		for _, bound := range []int{1, 3, 7} {
 			bound := bound

@@ -1,8 +1,8 @@
 package machine
 
 import (
-	"sort"
-	"sync"
+	"cmp"
+	"slices"
 
 	"tcfpram/internal/isa"
 	"tcfpram/internal/sched"
@@ -57,44 +57,34 @@ func (m *Machine) Step() error {
 
 // stepEngine runs one step. lockstep selects PRAM step semantics (buffered
 // writes, one TCF instruction per flow); otherwise the XMT-style
-// multi-instruction engine with immediate memory semantics runs.
+// multi-instruction engine with immediate memory semantics runs. All
+// per-step state lives in arenas on the Machine: the steady-state step loop
+// allocates nothing (with tracing disabled).
 func (m *Machine) stepEngine(lockstep bool) error {
-	execs := make([]*groupExec, len(m.groups))
-	for i, g := range m.groups {
-		execs[i] = &groupExec{m: m, g: g, immediate: !lockstep}
-	}
-	run := func(x *groupExec) {
-		switch {
-		case !lockstep:
-			x.runMulti()
-		case m.cfg.Variant == variant.Balanced:
-			x.runBalanced()
-		default:
-			x.runSingleInstruction()
-		}
+	execs := m.execs
+	for _, x := range execs {
+		x.reset(lockstep)
 	}
 	// Immediate semantics must execute groups serially (they touch memory
-	// directly); lockstep groups are independent within a step.
-	if lockstep && m.cfg.Parallel && len(m.groups) > 1 {
-		var wg sync.WaitGroup
-		for _, x := range execs {
-			wg.Add(1)
-			go func(x *groupExec) {
-				defer wg.Done()
-				run(x)
-			}(x)
+	// directly); lockstep groups are independent within a step. Group 0
+	// runs inline while the rest go to the worker pool.
+	if lockstep && m.cfg.Parallel && len(execs) > 1 {
+		m.wg.Add(len(execs) - 1)
+		for _, x := range execs[1:] {
+			groupPool.submit(poolJob{grp: x, wg: &m.wg})
 		}
-		wg.Wait()
+		execs[0].runGroup()
+		m.wg.Wait()
 	} else {
 		for _, x := range execs {
-			run(x)
+			x.runGroup()
 		}
 	}
 
 	// Deterministic merge in group order.
-	var stepOutputs []Output
-	var events []deferredEvent
-	var routes []*prefixRoute
+	stepOutputs := m.stepOutputs[:0]
+	events := m.stepEvents[:0]
+	routes := m.routes[:0]
 	var stepCycles int64
 	for _, x := range execs {
 		if x.err != nil {
@@ -104,13 +94,14 @@ func (m *Machine) stepEngine(lockstep bool) error {
 		for _, w := range x.writes {
 			m.shared.BufferWrite(w.Addr, w.Val, w.Key)
 		}
-		for _, pc := range x.contribs {
+		for i := range x.contribs {
+			pc := &x.contribs[i]
 			c := pc.c
-			if pc.route != nil {
+			if pc.hasRoute {
 				routes = append(routes, pc.route)
 				c.Dest = len(routes) - 1
 			}
-			m.combiners[pc.kind].Add(c)
+			m.combiners[combinerIndex(pc.kind)].Add(c)
 		}
 		stepOutputs = append(stepOutputs, x.outputs...)
 		events = append(events, x.events...)
@@ -146,6 +137,7 @@ func (m *Machine) stepEngine(lockstep bool) error {
 		m.stats.Retransmits += x.retransmits
 		m.stats.Reroutes += x.reroutes
 		m.stats.Barriers += x.barriers
+		m.stats.LaneChunks += x.laneChunks
 	}
 
 	// Commit buffered writes; resolve combining traffic.
@@ -153,8 +145,7 @@ func (m *Machine) stepEngine(lockstep bool) error {
 	if len(conflicts) > 0 {
 		return m.failf("step %d: %s", m.stats.Steps, conflicts[0])
 	}
-	for _, kind := range []isa.Op{isa.ADD, isa.AND, isa.OR, isa.MAX, isa.MIN} {
-		comb := m.combiners[kind]
+	for _, comb := range m.combiners {
 		if comb.Len() == 0 {
 			continue
 		}
@@ -163,7 +154,7 @@ func (m *Machine) stepEngine(lockstep bool) error {
 			m.shared.Poke(addr, v)
 		}
 		for _, p := range prefixes {
-			rt := routes[p.Dest]
+			rt := &routes[p.Dest]
 			rt.flow.Vector(rt.reg)[rt.lane] = p.Prefix
 		}
 	}
@@ -277,8 +268,13 @@ func (m *Machine) stepEngine(lockstep bool) error {
 
 	// Deterministic output ordering within the step: by flow id, then by
 	// emission order.
-	sort.SliceStable(stepOutputs, func(i, j int) bool { return stepOutputs[i].Flow < stepOutputs[j].Flow })
+	slices.SortStableFunc(stepOutputs, func(a, b Output) int { return cmp.Compare(a.Flow, b.Flow) })
 	m.output = append(m.output, stepOutputs...)
+
+	// Hand the (possibly grown) scratch slices back to the machine.
+	m.stepOutputs = stepOutputs[:0]
+	m.stepEvents = events[:0]
+	m.routes = routes[:0]
 
 	// Liveness: if nothing can ever run again, fail loudly.
 	if m.liveFlows() > 0 && !m.anyReadyAnywhere() {
@@ -297,6 +293,18 @@ func (m *Machine) anyReadyAnywhere() bool {
 }
 
 // ---- per-group engines ----
+
+// runGroup dispatches to the engine selected at reset time.
+func (x *groupExec) runGroup() {
+	switch {
+	case !x.lockstep:
+		x.runMulti()
+	case x.m.cfg.Variant == variant.Balanced:
+		x.runBalanced()
+	default:
+		x.runSingleInstruction()
+	}
+}
 
 // runSingleInstruction executes one TCF instruction of every resident ready
 // flow (the Single-instruction variant, and the thread variants where every
@@ -360,9 +368,7 @@ func (x *groupExec) runBalanced() {
 			n = budget
 		}
 		x.record(f, slot, in, f.Offset, n, false)
-		for i := f.Offset; i < f.Offset+n; i++ {
-			x.execLane(f, in, i, 0)
-		}
+		x.execLaneRange(f, in, f.Offset, n)
 		x.ops += int64(n)
 		budget -= n
 		f.Offset += n
@@ -444,9 +450,7 @@ func (x *groupExec) execWhole(f *tcf.Flow, slot int, in isa.Instr) {
 		return
 	}
 	x.record(f, slot, in, 0, w, f.Mode == tcf.NUMA)
-	for i := 0; i < w; i++ {
-		x.execLane(f, in, i, 0)
-	}
+	x.execLanes(f, in, w)
 	x.ops += int64(w)
 	f.PC++
 }
@@ -456,8 +460,12 @@ func (x *groupExec) execWhole(f *tcf.Flow, slot int, in isa.Instr) {
 // instructions executed.
 func (x *groupExec) execNUMABunch(f *tcf.Flow, slot, n int) int {
 	if !x.immediate {
-		x.fwd = make(map[int64]int64)
-		defer func() { x.fwd = nil }()
+		if x.fwd == nil {
+			x.fwd = make(map[int64]int64, 16)
+		}
+		clear(x.fwd)
+		x.fwdOn = true
+		defer func() { x.fwdOn = false }()
 	}
 	executed := 0
 	for k := 0; k < n; k++ {

@@ -1,9 +1,11 @@
 package machine
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"tcfpram/internal/isa"
 	"tcfpram/internal/mem"
@@ -52,7 +54,18 @@ type Machine struct {
 	homeGroup  map[int]int // flow id -> group index
 	nextFlowID int
 
-	combiners map[isa.Op]*multiop.Combiner
+	combiners [len(combineKinds)]*multiop.Combiner
+
+	// Step-engine state, allocated once and reused every step (exec.go):
+	// per-group execution arenas, the flattened group×module distance
+	// table, and the merge scratch slices.
+	execs       []*groupExec
+	nmods       int
+	dist        []int
+	stepOutputs []Output
+	stepEvents  []deferredEvent
+	routes      []prefixRoute
+	wg          sync.WaitGroup
 
 	stats  Stats
 	output []Output
@@ -74,20 +87,48 @@ func New(cfg Config) (*Machine, error) {
 		shared:    mem.NewShared(c.SharedWords, c.Groups, c.WritePolicy),
 		flows:     make(map[int]*tcf.Flow),
 		homeGroup: make(map[int]int),
-		combiners: map[isa.Op]*multiop.Combiner{
-			isa.ADD: multiop.NewCombiner(isa.ADD),
-			isa.AND: multiop.NewCombiner(isa.AND),
-			isa.OR:  multiop.NewCombiner(isa.OR),
-			isa.MAX: multiop.NewCombiner(isa.MAX),
-			isa.MIN: multiop.NewCombiner(isa.MIN),
-		},
 	}
+	for i, kind := range combineKinds {
+		m.combiners[i] = multiop.NewCombiner(kind)
+	}
+	m.shared.SetParallel(c.Parallel)
 	m.stats.PerGroupOps = make([]int64, c.Groups)
 	m.stats.PerGroupCycles = make([]int64, c.Groups)
 	for i := 0; i < c.Groups; i++ {
 		m.groups = append(m.groups, &Group{Index: i, Local: mem.NewLocal(i, c.LocalWords)})
+		m.execs = append(m.execs, &groupExec{m: m, g: m.groups[i]})
+	}
+	// Group→module distances never change (failover remaps the module
+	// index, not the metric), so the hot path indexes a flat table instead
+	// of calling into the topology per reference.
+	m.nmods = m.shared.Modules()
+	m.dist = make([]int, c.Groups*m.nmods)
+	for g := 0; g < c.Groups; g++ {
+		for mod := 0; mod < m.nmods; mod++ {
+			m.dist[g*m.nmods+mod] = c.Topology.Distance(g, mod)
+		}
 	}
 	return m, nil
+}
+
+// combineKinds lists the combining-operation kinds with a global combiner;
+// combinerIndex maps a kind to its slot.
+var combineKinds = [...]isa.Op{isa.ADD, isa.AND, isa.OR, isa.MAX, isa.MIN}
+
+func combinerIndex(op isa.Op) int {
+	switch op {
+	case isa.ADD:
+		return 0
+	case isa.AND:
+		return 1
+	case isa.OR:
+		return 2
+	case isa.MAX:
+		return 3
+	case isa.MIN:
+		return 4
+	}
+	panic(fmt.Sprintf("machine: no combiner for %s", op))
 }
 
 // Config returns the effective configuration.
@@ -114,7 +155,7 @@ func (m *Machine) Flows() []*tcf.Flow {
 	for _, f := range m.flows {
 		out = append(out, f)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	slices.SortFunc(out, func(a, b *tcf.Flow) int { return cmp.Compare(a.ID, b.ID) })
 	return out
 }
 

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"sync"
 
 	"tcfpram/internal/isa"
 	"tcfpram/internal/mem"
@@ -166,11 +167,14 @@ type prefixRoute struct {
 }
 
 // pendingContrib is a combining contribution gathered during the parallel
-// phase, before the global combiners see it.
+// phase, before the global combiners see it. The route is stored by value
+// (hasRoute distinguishes plain multioperations) so accumulating
+// contributions never allocates.
 type pendingContrib struct {
-	kind  isa.Op
-	c     multiop.Contribution
-	route *prefixRoute // nil for plain multioperations
+	kind     isa.Op
+	c        multiop.Contribution
+	route    prefixRoute
+	hasRoute bool
 }
 
 // eventKind tags deferred cross-flow events processed after the parallel
@@ -203,7 +207,8 @@ type deferredEvent struct {
 
 // groupExec carries the per-group execution state of one step. Groups run
 // independently (optionally on separate goroutines); their outputs are
-// merged deterministically afterwards.
+// merged deterministically afterwards. One arena per group lives on the
+// Machine and is reset — never reallocated — every step.
 type groupExec struct {
 	m *Machine
 	g *Group
@@ -211,6 +216,8 @@ type groupExec struct {
 	// immediate selects XMT-style memory semantics (MultiInstruction):
 	// loads see the current state, stores apply instantly.
 	immediate bool
+	// lockstep mirrors !immediate for the step engine's dispatch.
+	lockstep bool
 
 	ops       int64
 	scalarOps int64
@@ -235,6 +242,7 @@ type groupExec struct {
 	localWrites  int64
 	multiopRefs  int64
 	barriers     int64
+	laneChunks   int64
 
 	writes   []mem.Write
 	contribs []pendingContrib
@@ -243,10 +251,82 @@ type groupExec struct {
 	slices   []SliceExec
 
 	// fwd is the store-to-load forwarding table of the flow currently
-	// executing a NUMA bunch (its own same-step shared stores).
-	fwd map[int64]int64
+	// executing a NUMA bunch (its own same-step shared stores). The map is
+	// allocated once and cleared per bunch; fwdOn gates lookups.
+	fwd   map[int64]int64
+	fwdOn bool
+
+	// Lane-parallel state: lw holds one private worker arena per lane
+	// chunk (chunk 0 runs inline on this groupExec), chunks the dispatch
+	// records handed to the pool.
+	lw     []*groupExec
+	chunks []laneChunk
+	wg     sync.WaitGroup
 
 	err error
+}
+
+// reset prepares the arena for a new step, keeping every allocation.
+func (x *groupExec) reset(lockstep bool) {
+	x.immediate = !lockstep
+	x.lockstep = lockstep
+	x.ops, x.scalarOps, x.fetches = 0, 0, 0
+	x.anyShared, x.maxDist, x.stall = false, 0, 0
+	x.faultStall, x.retransmits, x.reroutes, x.refSeq = 0, 0, 0, 0
+	x.sharedReads, x.sharedWrites = 0, 0
+	x.localReads, x.localWrites = 0, 0
+	x.multiopRefs, x.barriers, x.laneChunks = 0, 0, 0
+	x.writes = x.writes[:0]
+	x.contribs = x.contribs[:0]
+	x.events = x.events[:0]
+	x.outputs = x.outputs[:0]
+	x.slices = x.slices[:0]
+	x.fwdOn = false
+	x.err = nil
+}
+
+// resetLaneWorker prepares a worker clone for one lane chunk whose shared
+// references start at refSeq (the parent's sequence at the chunk's first
+// lane, keeping fault decisions identical to serial execution).
+func (x *groupExec) resetLaneWorker(refSeq int64) {
+	x.immediate = false
+	x.lockstep = true
+	x.ops, x.scalarOps, x.fetches = 0, 0, 0
+	x.anyShared, x.maxDist, x.stall = false, 0, 0
+	x.faultStall, x.retransmits, x.reroutes = 0, 0, 0
+	x.refSeq = refSeq
+	x.sharedReads, x.sharedWrites = 0, 0
+	x.localReads, x.localWrites = 0, 0
+	x.multiopRefs, x.barriers, x.laneChunks = 0, 0, 0
+	x.writes = x.writes[:0]
+	x.contribs = x.contribs[:0]
+	x.fwdOn = false
+	x.err = nil
+}
+
+// mergeLaneWorker folds a completed chunk's effects back into the parent in
+// lane order: called for chunks 1..n-1 after chunk 0 ran inline, so the
+// merged buffers are byte-for-byte what serial execution would have built.
+func (x *groupExec) mergeLaneWorker(w *groupExec) {
+	x.writes = append(x.writes, w.writes...)
+	x.contribs = append(x.contribs, w.contribs...)
+	x.ops += w.ops
+	x.sharedReads += w.sharedReads
+	x.sharedWrites += w.sharedWrites
+	x.localReads += w.localReads
+	x.localWrites += w.localWrites
+	x.multiopRefs += w.multiopRefs
+	x.stall += w.stall
+	x.faultStall += w.faultStall
+	x.retransmits += w.retransmits
+	x.reroutes += w.reroutes
+	x.anyShared = x.anyShared || w.anyShared
+	if w.maxDist > x.maxDist {
+		x.maxDist = w.maxDist
+	}
+	if x.err == nil && w.err != nil {
+		x.err = w.err
+	}
 }
 
 func (x *groupExec) failf(format string, args ...any) {
@@ -268,7 +348,7 @@ func (x *groupExec) failw(sentinel error, format string, args ...any) {
 // cycles without touching the referenced value.
 func (x *groupExec) noteShared(addr int64, numaMode bool) {
 	module := x.m.shared.ModuleOf(addr)
-	dist := x.m.cfg.Topology.Distance(x.g.Index, module)
+	dist := x.m.dist[x.g.Index*x.m.nmods+module]
 	if plan := x.m.cfg.FaultPlan; plan != nil {
 		step := x.m.stats.Steps
 		if plan.RouteDown(x.g.Index, module, step) {
@@ -307,7 +387,7 @@ func (x *groupExec) loadShared(f *tcf.Flow, addr int64) int64 {
 	if x.immediate {
 		return x.m.shared.Peek(addr)
 	}
-	if x.fwd != nil {
+	if x.fwdOn {
 		if v, ok := x.fwd[addr]; ok {
 			return v
 		}
@@ -325,7 +405,7 @@ func (x *groupExec) storeShared(f *tcf.Flow, addr, val int64, lane, seq int) {
 	}
 	x.writes = append(x.writes, mem.Write{Addr: addr, Val: val,
 		Key: mem.Key{Flow: f.ID, Thread: lane, Seq: seq}})
-	if x.fwd != nil {
+	if x.fwdOn {
 		x.fwd[addr] = val
 	}
 }
@@ -426,10 +506,130 @@ func (x *groupExec) execLane(f *tcf.Flow, in isa.Instr, i, seq int) {
 			kind: kind,
 			c: multiop.Contribution{Addr: addr, Val: val,
 				Key: multiop.Key{Flow: f.ID, Thread: i, Seq: seq}, WantPrefix: true},
-			route: &prefixRoute{flow: f, reg: in.Rd, lane: i},
+			route:    prefixRoute{flow: f, reg: in.Rd, lane: i},
+			hasRoute: true,
 		})
 	default:
 		x.failf("flow %d: opcode %s has no lane semantics", f.ID, in.Op)
+	}
+}
+
+// execLaneRange executes lanes [first, first+n) of a sliceable instruction
+// with seq 0, in lane order — exactly the serial execLane loop, but the hot
+// op classes hoist register-file lookups out of the lane loop. Vector
+// operands of a sliceable instruction always span the full lane count
+// (Flow.Vector sizes them to Lanes()), so the bulk loops index directly.
+func (x *groupExec) execLaneRange(f *tcf.Flow, in isa.Instr, first, n int) {
+	end := first + n
+	switch {
+	case in.Op.IsBinaryALU() && in.Rd.IsVector():
+		dst := f.Vector(in.Rd)
+		var av, bv []int64
+		var as, bs int64
+		if in.Ra.IsVector() {
+			av = f.Vector(in.Ra)
+		} else {
+			as = f.Scalar(in.Ra)
+		}
+		switch {
+		case in.HasImm:
+			bs = in.Imm
+		case in.Rb.IsVector():
+			bv = f.Vector(in.Rb)
+		default:
+			bs = f.Scalar(in.Rb)
+		}
+		op := in.Op
+		switch {
+		case av != nil && bv != nil:
+			for i := first; i < end; i++ {
+				dst[i] = aluEval(op, av[i], bv[i])
+			}
+		case av != nil:
+			for i := first; i < end; i++ {
+				dst[i] = aluEval(op, av[i], bs)
+			}
+		case bv != nil:
+			for i := first; i < end; i++ {
+				dst[i] = aluEval(op, as, bv[i])
+			}
+		default:
+			v := aluEval(op, as, bs)
+			for i := first; i < end; i++ {
+				dst[i] = v
+			}
+		}
+	case in.Op == isa.LDI && in.Rd.IsVector():
+		dst := f.Vector(in.Rd)
+		for i := first; i < end; i++ {
+			dst[i] = in.Imm
+		}
+	case in.Op == isa.MOV && in.Rd.IsVector():
+		dst := f.Vector(in.Rd)
+		if in.Ra.IsVector() {
+			copy(dst[first:end], f.Vector(in.Ra)[first:end])
+		} else {
+			v := f.Scalar(in.Ra)
+			for i := first; i < end; i++ {
+				dst[i] = v
+			}
+		}
+	case in.Op == isa.TID && in.Rd.IsVector():
+		dst := f.Vector(in.Rd)
+		if f.Mode == tcf.NUMA {
+			for i := first; i < end; i++ {
+				dst[i] = 0
+			}
+		} else {
+			for i := first; i < end; i++ {
+				dst[i] = int64(f.TidOffset + i)
+			}
+		}
+	case in.Op == isa.LD && in.Rd.IsVector():
+		dst := f.Vector(in.Rd)
+		if in.Ra.IsVector() {
+			av := f.Vector(in.Ra)
+			for i := first; i < end; i++ {
+				dst[i] = x.loadShared(f, av[i]+in.Imm)
+			}
+		} else {
+			base := in.Imm
+			if in.Ra != isa.RegNone {
+				base += f.Scalar(in.Ra)
+			}
+			for i := first; i < end; i++ {
+				dst[i] = x.loadShared(f, base)
+			}
+		}
+	case in.Op == isa.ST:
+		var av, bv []int64
+		var bs int64
+		base := in.Imm
+		if in.Ra.IsVector() {
+			av = f.Vector(in.Ra)
+		} else if in.Ra != isa.RegNone {
+			base += f.Scalar(in.Ra)
+		}
+		if in.Rb.IsVector() {
+			bv = f.Vector(in.Rb)
+		} else {
+			bs = f.Scalar(in.Rb)
+		}
+		for i := first; i < end; i++ {
+			addr := base
+			if av != nil {
+				addr += av[i]
+			}
+			val := bs
+			if bv != nil {
+				val = bv[i]
+			}
+			x.storeShared(f, addr, val, i, 0)
+		}
+	default:
+		for i := first; i < end; i++ {
+			x.execLane(f, in, i, 0)
+		}
 	}
 }
 

@@ -37,6 +37,11 @@ type Stats struct {
 
 	Barriers int64
 
+	// LaneChunks counts lane ranges executed as parallel chunks (including
+	// the chunk run inline by the dispatching group). Wall-clock accounting
+	// only; lane parallelism never changes results.
+	LaneChunks int64
+
 	MaxLiveFlows int
 
 	PerGroupOps    []int64

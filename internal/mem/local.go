@@ -8,36 +8,44 @@ import "fmt"
 // through the interconnect.
 type Local struct {
 	group int
-	words []int64
+	size  int
+	words []int64 // allocated lazily on first write/preload
 
 	reads  int64
 	writes int64
 }
 
-// NewLocal allocates the local memory block of the given group.
+// NewLocal sizes the local memory block of the given group. The backing
+// store materializes on first write; an untouched block reads as zero and
+// costs nothing.
 func NewLocal(group, words int) *Local {
 	if words <= 0 {
 		panic("mem: local memory size must be positive")
 	}
-	return &Local{group: group, words: make([]int64, words)}
+	return &Local{group: group, size: words}
+}
+
+// ensure materializes the backing store.
+func (l *Local) ensure() []int64 {
+	if l.words == nil {
+		l.words = make([]int64, l.size)
+	}
+	return l.words
 }
 
 // Group returns the owning processor group index.
 func (l *Local) Group() int { return l.group }
 
 // Size returns the number of words.
-func (l *Local) Size() int { return len(l.words) }
+func (l *Local) Size() int { return l.size }
 
 // InRange reports whether addr is a valid word address.
-func (l *Local) InRange(addr int64) bool { return addr >= 0 && addr < int64(len(l.words)) }
+func (l *Local) InRange(addr int64) bool { return addr >= 0 && addr < int64(l.size) }
 
 // Read returns the word at addr. Out-of-range reads return 0.
 func (l *Local) Read(addr int64) int64 {
 	l.reads++
-	if !l.InRange(addr) {
-		return 0
-	}
-	return l.words[addr]
+	return l.Peek(addr)
 }
 
 // Write stores val at addr immediately. Out-of-range stores are dropped.
@@ -46,12 +54,12 @@ func (l *Local) Write(addr, val int64) {
 	if !l.InRange(addr) {
 		return
 	}
-	l.words[addr] = val
+	l.ensure()[addr] = val
 }
 
 // Peek reads without counting.
 func (l *Local) Peek(addr int64) int64 {
-	if !l.InRange(addr) {
+	if !l.InRange(addr) || l.words == nil {
 		return 0
 	}
 	return l.words[addr]
@@ -62,9 +70,9 @@ func (l *Local) Stats() (reads, writes int64) { return l.reads, l.writes }
 
 // Load preloads a data segment.
 func (l *Local) Load(addr int64, words []int64) error {
-	if addr < 0 || addr+int64(len(words)) > int64(len(l.words)) {
-		return fmt.Errorf("mem: local segment [%d,%d) out of range [0,%d)", addr, addr+int64(len(words)), len(l.words))
+	if addr < 0 || addr+int64(len(words)) > int64(l.size) {
+		return fmt.Errorf("mem: local segment [%d,%d) out of range [0,%d)", addr, addr+int64(len(words)), l.size)
 	}
-	copy(l.words[addr:], words)
+	copy(l.ensure()[addr:], words)
 	return nil
 }

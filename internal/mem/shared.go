@@ -7,7 +7,10 @@ package mem
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
 )
 
 // Policy selects the concurrent-write resolution rule of the CRCW PRAM.
@@ -64,6 +67,24 @@ type Write struct {
 	Key  Key
 }
 
+// compareWrites orders a step's writes for resolution: by address, then by
+// key (lowest key first, so the winner of each address run is ws[i]).
+func compareWrites(a, b Write) int {
+	if a.Addr != b.Addr {
+		if a.Addr < b.Addr {
+			return -1
+		}
+		return 1
+	}
+	if a.Key.Less(b.Key) {
+		return -1
+	}
+	if b.Key.Less(a.Key) {
+		return 1
+	}
+	return 0
+}
+
 // Conflict records a Common-policy violation: two same-step writes to Addr
 // with different values.
 type Conflict struct {
@@ -75,9 +96,32 @@ func (c Conflict) String() string {
 	return fmt.Sprintf("common-CRCW conflict at %d: %d vs %d", c.Addr, c.A, c.B)
 }
 
+// pageWords is the granularity of the lazily allocated backing store: pages
+// materialize on first write (or preload), so a machine whose program touches
+// a few hundred words never pays for zeroing the whole address space. 1024
+// words = 8 KiB per page, small enough to stay in the allocator's size
+// classes (32 KiB pages fell into the large-object path, whose span setup
+// dominated short-lived machines).
+const (
+	pageShift = 10
+	pageWords = 1 << pageShift
+)
+
+// applyParallelMin is the buffered-write count below which ApplyStep resolves
+// shards serially; small steps stay allocation- and goroutine-free.
+const applyParallelMin = 2048
+
 // Shared is the emulated shared memory: Words words spread over Modules
 // modules with low-order interleaving (module = addr mod Modules), the
 // standard ESM address hashing approximation.
+//
+// The backing store is paged and lazily allocated: unwritten pages read as
+// zero without ever being materialized.
+//
+// Buffered step writes are sharded by home memory module; ApplyStep resolves
+// the shards independently (in parallel when SetParallel(true) and the step
+// is write-heavy) with identical results to a global resolution, because a
+// word's writes all land in one shard and shards touch disjoint words.
 //
 // Modules can fail-stop (FailModule): every module's contents are mirrored,
 // so a failure remaps the dead module's traffic onto the lowest-indexed
@@ -85,9 +129,12 @@ func (c Conflict) String() string {
 // locality (and hence latency) of the remapped references changes. With no
 // survivor left the failure is unrecoverable.
 type Shared struct {
-	words   []int64
+	pages   [][]int64 // lazily materialized pageWords-sized pages
+	size    int64     // total words
 	modules int
+	modMask int64 // modules-1 when modules is a power of two, else -1
 	policy  Policy
+	par     bool // resolve write shards on multiple goroutines
 
 	// remap[m] is the module serving traffic addressed to m (identity
 	// until failover); failed marks dead modules.
@@ -95,7 +142,9 @@ type Shared struct {
 	failed    []bool
 	failovers int64
 
-	writes []Write
+	// shards[m] buffers the step's writes whose home module is m. The
+	// per-shard backing arrays are retained across steps.
+	shards [][]Write
 
 	// Counters.
 	reads      int64
@@ -115,14 +164,25 @@ func NewShared(words, modules int, policy Policy) *Shared {
 	for i := range remap {
 		remap[i] = i
 	}
+	nPages := (words + pageWords - 1) / pageWords
+	modMask := int64(-1)
+	if modules&(modules-1) == 0 {
+		modMask = int64(modules - 1)
+	}
 	return &Shared{
-		words: make([]int64, words), modules: modules, policy: policy,
+		pages: make([][]int64, nPages), size: int64(words),
+		modules: modules, modMask: modMask, policy: policy,
 		remap: remap, failed: make([]bool, modules),
+		shards: make([][]Write, modules),
 	}
 }
 
+// SetParallel enables multi-goroutine shard resolution in ApplyStep. Results
+// are bit-identical either way; only wall-clock changes.
+func (s *Shared) SetParallel(on bool) { s.par = on }
+
 // Size returns the number of words.
-func (s *Shared) Size() int { return len(s.words) }
+func (s *Shared) Size() int { return int(s.size) }
 
 // Modules returns the number of memory modules.
 func (s *Shared) Modules() int { return s.modules }
@@ -137,7 +197,13 @@ func (s *Shared) ModuleOf(addr int64) int {
 }
 
 // HomeModuleOf returns the module addr interleaves onto before failover.
+// Power-of-two module counts mask instead of dividing (two's-complement AND
+// is exactly the Euclidean remainder for negative addresses too) — this
+// sits on the hot path of every shared reference.
 func (s *Shared) HomeModuleOf(addr int64) int {
+	if s.modMask >= 0 {
+		return int(addr & s.modMask)
+	}
 	return int(((addr % int64(s.modules)) + int64(s.modules)) % int64(s.modules))
 }
 
@@ -181,16 +247,27 @@ func (s *Shared) FailModule(m int) error {
 }
 
 // InRange reports whether addr is a valid word address.
-func (s *Shared) InRange(addr int64) bool { return addr >= 0 && addr < int64(len(s.words)) }
+func (s *Shared) InRange(addr int64) bool { return addr >= 0 && addr < s.size }
+
+// page returns the page backing addr, or nil if it was never written.
+func (s *Shared) page(addr int64) []int64 { return s.pages[addr>>pageShift] }
+
+// ensurePage materializes the page backing addr and returns it.
+func (s *Shared) ensurePage(addr int64) []int64 {
+	i := addr >> pageShift
+	p := s.pages[i]
+	if p == nil {
+		p = make([]int64, pageWords)
+		s.pages[i] = p
+	}
+	return p
+}
 
 // Read returns the word at addr as of the start of the current step.
 // Out-of-range reads return 0, like the trap-free simulated hardware.
 func (s *Shared) Read(addr int64) int64 {
 	s.reads++
-	if !s.InRange(addr) {
-		return 0
-	}
-	return s.words[addr]
+	return s.Peek(addr)
 }
 
 // Peek reads without counting (for inspection and tests).
@@ -198,52 +275,144 @@ func (s *Shared) Peek(addr int64) int64 {
 	if !s.InRange(addr) {
 		return 0
 	}
-	return s.words[addr]
+	p := s.page(addr)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageWords-1)]
 }
 
 // Poke writes immediately without buffering (program loading, tests).
 func (s *Shared) Poke(addr int64, val int64) {
 	if s.InRange(addr) {
-		s.words[addr] = val
+		s.ensurePage(addr)[addr&(pageWords-1)] = val
 	}
 }
 
 // Load preloads a data segment.
 func (s *Shared) Load(addr int64, words []int64) error {
-	if addr < 0 || addr+int64(len(words)) > int64(len(s.words)) {
-		return fmt.Errorf("mem: data segment [%d,%d) out of range [0,%d)", addr, addr+int64(len(words)), len(s.words))
+	if addr < 0 || addr+int64(len(words)) > s.size {
+		return fmt.Errorf("mem: data segment [%d,%d) out of range [0,%d)", addr, addr+int64(len(words)), s.size)
 	}
-	copy(s.words[addr:], words)
+	for i, w := range words {
+		a := addr + int64(i)
+		s.ensurePage(a)[a&(pageWords-1)] = w
+	}
 	return nil
 }
 
-// BufferWrite records a store to be applied at the end of the step.
-// Out-of-range stores are dropped.
+// BufferWrite records a store to be applied at the end of the step, bucketed
+// by its home memory module. Out-of-range stores are dropped. In parallel
+// mode the target page is materialized here, in serial context, so that the
+// concurrent shard resolution of ApplyStep never mutates the page table;
+// serial resolution materializes pages lazily in applyShard instead.
 func (s *Shared) BufferWrite(addr, val int64, key Key) {
 	if !s.InRange(addr) {
 		return
 	}
-	s.writes = append(s.writes, Write{Addr: addr, Val: val, Key: key})
+	if s.par {
+		s.ensurePage(addr)
+	}
+	m := s.HomeModuleOf(addr)
+	s.shards[m] = append(s.shards[m], Write{Addr: addr, Val: val, Key: key})
 }
 
 // PendingWrites returns the number of writes buffered in the current step.
-func (s *Shared) PendingWrites() int { return len(s.writes) }
+func (s *Shared) PendingWrites() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += len(sh)
+	}
+	return n
+}
 
 // ApplyStep resolves the buffered writes of the step against the policy and
 // applies the winners. It returns the Common-policy conflicts (empty under
-// Arbitrary/Priority). The write buffer is cleared.
+// Arbitrary/Priority), ordered by address. The write buffer is cleared (its
+// capacity is retained for the next step).
 func (s *Shared) ApplyStep() []Conflict {
-	if len(s.writes) == 0 {
+	total := 0
+	for _, sh := range s.shards {
+		total += len(sh)
+	}
+	if total == 0 {
 		return nil
 	}
-	ws := s.writes
-	sort.Slice(ws, func(i, j int) bool {
-		if ws[i].Addr != ws[j].Addr {
-			return ws[i].Addr < ws[j].Addr
-		}
-		return ws[i].Key.Less(ws[j].Key)
-	})
+
 	var conflicts []Conflict
+	if s.par && total >= applyParallelMin && s.modules > 1 {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > s.modules {
+			workers = s.modules
+		}
+		perShard := make([][]Conflict, s.modules)
+		done := make([]int64, s.modules)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= s.modules {
+						return
+					}
+					perShard[i], done[i] = s.applyShard(s.shards[i])
+				}
+			}()
+		}
+		wg.Wait()
+		for i := 0; i < s.modules; i++ {
+			conflicts = append(conflicts, perShard[i]...)
+			s.writesDone += done[i]
+		}
+		// Shards interleave the address space (addr mod modules), so the
+		// per-shard address order must be merged into a global one; the
+		// stable sort preserves the within-address key order.
+		slices.SortStableFunc(conflicts, func(a, b Conflict) int {
+			if a.Addr < b.Addr {
+				return -1
+			}
+			if a.Addr > b.Addr {
+				return 1
+			}
+			return 0
+		})
+	} else {
+		for i := range s.shards {
+			cs, done := s.applyShard(s.shards[i])
+			conflicts = append(conflicts, cs...)
+			s.writesDone += done
+		}
+		slices.SortStableFunc(conflicts, func(a, b Conflict) int {
+			if a.Addr < b.Addr {
+				return -1
+			}
+			if a.Addr > b.Addr {
+				return 1
+			}
+			return 0
+		})
+	}
+
+	s.stepWrites += int64(total)
+	for i := range s.shards {
+		s.shards[i] = s.shards[i][:0]
+	}
+	return conflicts
+}
+
+// applyShard resolves one shard: sort by (addr, key), detect Common
+// conflicts, apply the lowest-keyed write per address. In parallel mode all
+// pages touched were materialized by BufferWrite, so ensurePage below never
+// mutates the page table and concurrent shards (disjoint address sets) are
+// race-free; in serial mode ensurePage materializes lazily here.
+func (s *Shared) applyShard(ws []Write) (conflicts []Conflict, done int64) {
+	if len(ws) == 0 {
+		return nil, 0
+	}
+	slices.SortFunc(ws, compareWrites)
 	for i := 0; i < len(ws); {
 		j := i + 1
 		for j < len(ws) && ws[j].Addr == ws[i].Addr {
@@ -253,13 +422,11 @@ func (s *Shared) ApplyStep() []Conflict {
 			j++
 		}
 		// Lowest key wins (deterministic Arbitrary; exact Priority).
-		s.words[ws[i].Addr] = ws[i].Val
-		s.writesDone++
+		s.ensurePage(ws[i].Addr)[ws[i].Addr&(pageWords-1)] = ws[i].Val
+		done++
 		i = j
 	}
-	s.stepWrites += int64(len(ws))
-	s.writes = s.writes[:0]
-	return conflicts
+	return conflicts, done
 }
 
 // Stats reports cumulative access counts.
@@ -267,11 +434,33 @@ func (s *Shared) Stats() (reads, committedWrites, issuedWrites int64) {
 	return s.reads, s.writesDone, s.stepWrites
 }
 
-// Snapshot copies words [addr, addr+n) for inspection.
+// Snapshot copies words [addr, addr+n) for inspection. The range is clamped
+// to the address space once; out-of-range (and never-written) words read as
+// zero. Materialized pages are copied wholesale instead of word by word.
 func (s *Shared) Snapshot(addr int64, n int) []int64 {
 	out := make([]int64, n)
-	for i := 0; i < n; i++ {
-		out[i] = s.Peek(addr + int64(i))
+	if n <= 0 || addr >= s.size || addr+int64(n) <= 0 {
+		return out
+	}
+	// Clamp to the valid window [lo, hi); everything outside stays zero.
+	lo, hi := addr, addr+int64(n)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.size {
+		hi = s.size
+	}
+	for a := lo; a < hi; {
+		p := s.page(a)
+		off := a & (pageWords - 1)
+		end := a - off + pageWords // first word past this page
+		if end > hi {
+			end = hi
+		}
+		if p != nil {
+			copy(out[a-addr:hi-addr], p[off:off+(end-a)])
+		}
+		a = end
 	}
 	return out
 }

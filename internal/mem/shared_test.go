@@ -301,3 +301,113 @@ func TestModuleFailoverUnrecoverable(t *testing.T) {
 		t.Fatal("out-of-range module accepted")
 	}
 }
+
+// TestSharedPagedBacking exercises the lazy page table: reads of untouched
+// pages return zero without materializing anything, and writes land on the
+// right page.
+func TestSharedPagedBacking(t *testing.T) {
+	s := NewShared(3*pageWords+17, 4, Arbitrary)
+	for _, p := range s.pages {
+		if p != nil {
+			t.Fatal("page materialized before any write")
+		}
+	}
+	if got := s.Peek(2 * pageWords); got != 0 {
+		t.Fatalf("untouched read = %d, want 0", got)
+	}
+	s.Poke(2*pageWords+5, 42)
+	if s.pages[0] != nil || s.pages[1] != nil || s.pages[3] != nil {
+		t.Fatal("Poke materialized an unrelated page")
+	}
+	if got := s.Peek(2*pageWords + 5); got != 42 {
+		t.Fatalf("paged read = %d, want 42", got)
+	}
+	// The tail page is partial in the address space but full-size as a page;
+	// the last valid word must be addressable.
+	last := int64(s.Size() - 1)
+	s.Poke(last, 7)
+	if got := s.Peek(last); got != 7 {
+		t.Fatalf("last-word read = %d, want 7", got)
+	}
+}
+
+// TestSnapshotPagedAndClamped checks the direct-copy Snapshot across page
+// boundaries, unmaterialized holes and the end of the address space.
+func TestSnapshotPagedAndClamped(t *testing.T) {
+	s := NewShared(2*pageWords+8, 4, Arbitrary)
+	s.Poke(pageWords-1, 11)
+	s.Poke(pageWords, 22) // next page
+	s.Poke(2*pageWords+7, 33)
+	got := s.Snapshot(pageWords-2, 4)
+	want := []int64{0, 11, 22, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Snapshot across pages = %v, want %v", got, want)
+		}
+	}
+	// Past-the-end words read as zero, and the whole-range snapshot sees
+	// unmaterialized middle words as zero.
+	got = s.Snapshot(2*pageWords+6, 4)
+	want = []int64{0, 33, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("clamped Snapshot = %v, want %v", got, want)
+		}
+	}
+	if out := s.Snapshot(-3, 2); out[0] != 0 || out[1] != 0 {
+		t.Fatalf("negative-range Snapshot = %v, want zeros", out)
+	}
+}
+
+// TestApplyStepShardedMatchesSerial cross-checks the sharded (and parallel)
+// resolution against a straightforward single-buffer reference on random
+// write batches, for every policy.
+func TestApplyStepShardedMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, policy := range []Policy{Arbitrary, Priority, Common} {
+		for round := 0; round < 20; round++ {
+			n := 1 + rng.Intn(6000) // straddles applyParallelMin
+			type w struct {
+				addr, val int64
+				key       Key
+			}
+			batch := make([]w, n)
+			for i := range batch {
+				batch[i] = w{
+					addr: int64(rng.Intn(512)),
+					val:  int64(rng.Intn(4)), // collisions likely
+					key:  Key{Flow: rng.Intn(4), Thread: rng.Intn(8), Seq: rng.Intn(2)},
+				}
+			}
+			serial := NewShared(512, 5, policy)
+			parallel := NewShared(512, 5, policy)
+			parallel.SetParallel(true)
+			for _, b := range batch {
+				serial.BufferWrite(b.addr, b.val, b.key)
+				parallel.BufferWrite(b.addr, b.val, b.key)
+			}
+			cs := serial.ApplyStep()
+			cp := parallel.ApplyStep()
+			if len(cs) != len(cp) {
+				t.Fatalf("%v: conflict count %d vs %d", policy, len(cs), len(cp))
+			}
+			for i := range cs {
+				if cs[i] != cp[i] {
+					t.Fatalf("%v: conflict %d: %v vs %v", policy, i, cs[i], cp[i])
+				}
+			}
+			a := serial.Snapshot(0, 512)
+			b := parallel.Snapshot(0, 512)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%v: word %d: %d vs %d", policy, i, a[i], b[i])
+				}
+			}
+			_, doneA, issuedA := serial.Stats()
+			_, doneB, issuedB := parallel.Stats()
+			if doneA != doneB || issuedA != issuedB {
+				t.Fatalf("%v: write counters diverged: %d/%d vs %d/%d", policy, doneA, issuedA, doneB, issuedB)
+			}
+		}
+	}
+}

@@ -11,8 +11,9 @@
 package multiop
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"tcfpram/internal/isa"
 )
@@ -64,6 +65,10 @@ type Result struct {
 type Combiner struct {
 	kind isa.Op
 	cs   []Contribution
+	// finals and prefixes are reused across Resolve calls so steady-state
+	// steps allocate nothing.
+	finals   map[int64]int64
+	prefixes []Result
 }
 
 // NewCombiner returns a Combiner for the given combining operator.
@@ -118,33 +123,45 @@ func Apply(kind isa.Op, a, b int64) int64 {
 // prefix results for WantPrefix contributions. The contribution order is
 // (Flow, Thread, Seq); the prefix a participant sees is the combined value
 // of the memory word and all lower-keyed contributions. The step's traffic
-// is cleared.
+// is cleared. The returned map and slice are owned by the Combiner and
+// valid only until the next Resolve call.
 func (c *Combiner) Resolve(read func(addr int64) int64) (finals map[int64]int64, prefixes []Result) {
 	if len(c.cs) == 0 {
 		return nil, nil
 	}
-	sort.Slice(c.cs, func(i, j int) bool {
-		if c.cs[i].Addr != c.cs[j].Addr {
-			return c.cs[i].Addr < c.cs[j].Addr
+	slices.SortFunc(c.cs, func(a, b Contribution) int {
+		if r := cmp.Compare(a.Addr, b.Addr); r != 0 {
+			return r
 		}
-		return c.cs[i].Key.Less(c.cs[j].Key)
+		if r := cmp.Compare(a.Key.Flow, b.Key.Flow); r != 0 {
+			return r
+		}
+		if r := cmp.Compare(a.Key.Thread, b.Key.Thread); r != 0 {
+			return r
+		}
+		return cmp.Compare(a.Key.Seq, b.Key.Seq)
 	})
-	finals = make(map[int64]int64)
+	if c.finals == nil {
+		c.finals = make(map[int64]int64)
+	} else {
+		clear(c.finals)
+	}
+	c.prefixes = c.prefixes[:0]
 	for i := 0; i < len(c.cs); {
 		addr := c.cs[i].Addr
 		acc := read(addr)
 		j := i
 		for ; j < len(c.cs) && c.cs[j].Addr == addr; j++ {
 			if c.cs[j].WantPrefix {
-				prefixes = append(prefixes, Result{Key: c.cs[j].Key, Dest: c.cs[j].Dest, Prefix: acc})
+				c.prefixes = append(c.prefixes, Result{Key: c.cs[j].Key, Dest: c.cs[j].Dest, Prefix: acc})
 			}
 			acc = c.Apply(acc, c.cs[j].Val)
 		}
-		finals[addr] = acc
+		c.finals[addr] = acc
 		i = j
 	}
 	c.cs = c.cs[:0]
-	return finals, prefixes
+	return c.finals, c.prefixes
 }
 
 // TreeLatency estimates the combining latency in cycles for n participants

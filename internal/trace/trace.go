@@ -5,8 +5,9 @@
 package trace
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"tcfpram/internal/machine"
@@ -134,7 +135,7 @@ func Spans(m *machine.Machine) []FlowSpan {
 	for _, sp := range byFlow {
 		out = append(out, *sp)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Flow < out[j].Flow })
+	slices.SortFunc(out, func(a, b FlowSpan) int { return cmp.Compare(a.Flow, b.Flow) })
 	return out
 }
 
