@@ -23,9 +23,11 @@ race:
 
 # bench runs the step-engine benchmarks (allocations reported) and merges
 # the labelled result into BENCH_step_engine.json for before/after diffing.
+# The steady-state step loop is gated at 0 allocs/op.
 bench:
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) -run '^$$' . \
-		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -o BENCH_step_engine.json
+		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -o BENCH_step_engine.json \
+			-require-zero-alloc 'BenchmarkEngine_StepLoop'
 
 benchall:
 	$(GO) test -bench=. -benchmem ./...

@@ -5,9 +5,16 @@
 // replaced, otherwise the run is appended. This is how BENCH_step_engine.json
 // keeps a "before" and an "after" entry for a performance PR.
 //
+// With -require-zero-alloc the command additionally acts as an allocation
+// gate: every benchmark whose name matches the regular expression must
+// report 0 allocs/op, and at least one benchmark must match — otherwise
+// benchjson exits nonzero (after still writing the merged JSON). CI uses
+// this to keep the steady-state step loop allocation-free.
+//
 // Usage:
 //
 //	go test -bench 'Fig|S4|Engine' -benchmem -run '^$' . | benchjson -label pr3-after -o BENCH_step_engine.json
+//	go test -bench Engine_StepLoop -benchmem -run '^$' . | benchjson -require-zero-alloc 'BenchmarkEngine_StepLoop'
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -57,6 +65,7 @@ func run(args []string, in io.Reader) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	label := fs.String("label", "run", "label for this benchmark run")
 	out := fs.String("o", "", "JSON file to merge the run into (default: stdout, no merge)")
+	zeroAlloc := fs.String("require-zero-alloc", "", "fail unless every matching benchmark reports 0 allocs/op (regexp; at least one must match)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,6 +78,7 @@ func run(args []string, in io.Reader) error {
 	if len(r.Benchmarks) == 0 {
 		return errors.New("no benchmark lines found on stdin")
 	}
+	gateErr := requireZeroAlloc(r, *zeroAlloc)
 
 	var doc Document
 	if *out != "" {
@@ -98,10 +108,43 @@ func run(args []string, in io.Reader) error {
 	}
 	data = append(data, '\n')
 	if *out == "" {
-		_, err := os.Stdout.Write(data)
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(*out, data, 0o644)
+	return gateErr
+}
+
+// requireZeroAlloc enforces the allocation gate: every benchmark matching
+// pattern must report exactly 0 allocs/op, and the pattern must match at
+// least one benchmark (a silently unmatched gate would pass vacuously when
+// a benchmark is renamed).
+func requireZeroAlloc(r Run, pattern string) error {
+	if pattern == "" {
+		return nil
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("bad -require-zero-alloc pattern: %w", err)
+	}
+	matched := 0
+	for _, b := range r.Benchmarks {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		matched++
+		if allocs, ok := b.Metrics["allocs/op"]; !ok {
+			return fmt.Errorf("%s reports no allocs/op (run with -benchmem)", b.Name)
+		} else if allocs != 0 {
+			return fmt.Errorf("%s allocates: %g allocs/op, want 0", b.Name, allocs)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmark matches -require-zero-alloc %q", pattern)
+	}
+	return nil
 }
 
 // parse reads `go test -bench` output, collecting the environment header

@@ -82,3 +82,38 @@ func TestEmptyInputFails(t *testing.T) {
 		t.Fatal("want error on input without benchmark lines")
 	}
 }
+
+const zeroAllocSample = `goos: linux
+goarch: amd64
+BenchmarkEngine_StepLoop-8 	  100000	       704.9 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig7_SingleInstruction 	     400	     22591 ns/op	   13714 B/op	      87 allocs/op
+PASS
+`
+
+func TestRequireZeroAlloc(t *testing.T) {
+	tmp := func() string { return filepath.Join(t.TempDir(), "bench.json") }
+	// Matching benchmark at 0 allocs/op: gate passes.
+	if err := run([]string{"-o", tmp(), "-require-zero-alloc", "Engine_StepLoop"},
+		strings.NewReader(zeroAllocSample)); err != nil {
+		t.Fatalf("zero-alloc gate failed on a clean benchmark: %v", err)
+	}
+	// Matching benchmark that allocates: gate fails.
+	err := run([]string{"-o", tmp(), "-require-zero-alloc", "Fig7"}, strings.NewReader(zeroAllocSample))
+	if err == nil || !strings.Contains(err.Error(), "allocates") {
+		t.Fatalf("want allocation failure, got %v", err)
+	}
+	// Pattern matching nothing must fail rather than pass vacuously.
+	err = run([]string{"-o", tmp(), "-require-zero-alloc", "NoSuchBenchmark"}, strings.NewReader(zeroAllocSample))
+	if err == nil || !strings.Contains(err.Error(), "no benchmark matches") {
+		t.Fatalf("want unmatched-pattern failure, got %v", err)
+	}
+	// The merged JSON is still written when the gate fails.
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-o", out, "-require-zero-alloc", "Fig7"},
+		strings.NewReader(zeroAllocSample)); err == nil {
+		t.Fatal("want gate failure")
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("gate failure must not suppress the JSON merge: %v", err)
+	}
+}

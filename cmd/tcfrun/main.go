@@ -38,6 +38,7 @@ func run(args []string, out io.Writer) error {
 	bound := fs.Int("bound", 0, "balanced variant operation bound b (0 = default)")
 	langSel := fs.String("lang", "", "force source language: tcfe|asm (default: by extension)")
 	showTrace := fs.Bool("trace", false, "print the step timeline")
+	showStages := fs.Bool("stages", false, "print the per-stage cost attribution (Figure 13 pipeline)")
 	showGantt := fs.Bool("gantt", false, "print the occupancy gantt")
 	showDis := fs.Bool("dis", false, "print the compiled program listing")
 	showMem := fs.String("mem", "", "dump shared memory range, e.g. -mem 300:8")
@@ -133,6 +134,9 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("bad -mem %q (want addr:count)", *showMem)
 		}
 		fmt.Fprintf(out, "mem[%d:%d] = %v\n", addr, addr+int64(n), m.Words(addr, n))
+	}
+	if *showStages {
+		fmt.Fprintln(out, m.StageTable())
 	}
 	if *showTrace {
 		fmt.Fprintln(out, m.Timeline())

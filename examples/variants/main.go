@@ -37,9 +37,36 @@ func main() {
 }
 `
 
+// shapeString summarizes the step shape a variant's execution policy selects
+// for its default configuration.
+func shapeString(v tcfpram.Variant) string {
+	cfg := tcfpram.DefaultConfig(v)
+	pol, err := tcfpram.PolicyFor(v)
+	if err != nil {
+		log.Fatalf("%v: %v", v, err)
+	}
+	s := pol.Shape(tcfpram.MachineShape{
+		Groups: cfg.Groups, ProcsPerGroup: cfg.ProcsPerGroup,
+		BalancedBound: cfg.BalancedBound, MultiInstrWindow: cfg.MultiInstrWindow,
+		VectorWidth: cfg.ProcsPerGroup,
+	})
+	sync := "lockstep"
+	if !s.Lockstep {
+		sync = "async"
+	}
+	out := fmt.Sprintf("%s w=%d", sync, s.Window)
+	if s.Budget > 0 {
+		out += fmt.Sprintf(" b=%d", s.Budget)
+	}
+	if s.PerThreadFetch {
+		out += " fetch/thread"
+	}
+	return out
+}
+
 func main() {
 	fmt.Println("sequential program on all six variants:")
-	fmt.Printf("%-30s %-8s %-8s %-9s %-6s\n", "variant", "steps", "cycles", "fetches", "util")
+	fmt.Printf("%-30s %-22s %-8s %-8s %-9s %-6s\n", "variant", "policy shape", "steps", "cycles", "fetches", "util")
 	for _, v := range tcfpram.Variants() {
 		m, stats, err := tcfpram.RunSource(tcfpram.DefaultConfig(v), "seq", portableSrc)
 		if err != nil {
@@ -48,7 +75,7 @@ func main() {
 		if got := m.PrintedValues(); len(got) == 0 || got[0] != 11440 {
 			log.Fatalf("%v computed %v, want 11440", v, got)
 		}
-		fmt.Printf("%-30s %-8d %-8d %-9d %-6.3f\n", v, stats.Steps, stats.Cycles,
+		fmt.Printf("%-30s %-22s %-8d %-8d %-9d %-6.3f\n", v, shapeString(v), stats.Steps, stats.Cycles,
 			stats.InstrFetches, stats.Utilization())
 	}
 
@@ -66,7 +93,15 @@ func main() {
 		fmt.Printf("%-30s %-8d %-8d %-9d %-6.3f\n", v, stats.Steps, stats.Cycles,
 			stats.InstrFetches, stats.Utilization())
 	}
-	fmt.Println("\nnote the shapes: balanced trades steps for bounded step width; the XMT engine")
+	fmt.Println("\nper-stage attribution (Figure 13 pipeline) of the thick program on the")
+	fmt.Println("single-instruction variant:")
+	m, _, err := tcfpram.RunSource(tcfpram.DefaultConfig(tcfpram.SingleInstruction), "thick", thickSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m.StageTable())
+
+	fmt.Println("note the shapes: balanced trades steps for bounded step width; the XMT engine")
 	fmt.Println("packs instructions per step but fetches once per implicit thread; the thread")
 	fmt.Println("variants run the sequential program on all 16 thread slots redundantly.")
 }

@@ -12,15 +12,21 @@ type AutoSplitRow struct {
 	Threshold   int // 0 = splitting disabled
 	Cycles      int64
 	Utilization float64
-	Fragments   int64 // flows created by splitting
+	Planned     int   // fragments the frontend splitter plans for the kernel
+	Fragments   int64 // flows actually created by splitting
+	Rejoins     int64 // fragment completions folded back into the container
 	GroupsBusy  int   // groups that executed a significant share
 }
+
+// autoSplitThickness is the kernel's SETTHICK operand, fed to the frontend
+// splitter to obtain the planned fragmentation.
+const autoSplitThickness = 256
 
 // autoSplitKernel is a 256-lane elementwise kernel (8 thick instructions).
 func autoSplitKernel() *isa.Program {
 	b := isa.NewBuilder("autosplit-kernel")
 	b.Label("main")
-	b.SetThickImm(256)
+	b.SetThickImm(autoSplitThickness)
 	b.Id(isa.TID, isa.V(0))
 	for i := 0; i < 6; i++ {
 		b.ALUI(isa.MUL, isa.V(1), isa.V(0), 3)
@@ -45,6 +51,13 @@ func AutoSplit() ([]AutoSplitRow, error) {
 		if err := m.LoadProgram(prog); err != nil {
 			return nil, err
 		}
+		// The frontend splitter is the single source of truth for how the
+		// kernel's SETTHICK will fragment under this threshold; the run
+		// must then create exactly that many fragments and rejoin them all.
+		plan, err := m.SplitPlan(autoSplitThickness)
+		if err != nil {
+			return nil, err
+		}
 		if _, err := m.Run(); err != nil {
 			return nil, err
 		}
@@ -53,7 +66,9 @@ func AutoSplit() ([]AutoSplitRow, error) {
 			Threshold:   threshold,
 			Cycles:      s.Cycles,
 			Utilization: s.Utilization(),
+			Planned:     len(plan),
 			Fragments:   s.FlowsCreated - 1,
+			Rejoins:     s.Joins,
 		}
 		for _, ops := range s.PerGroupOps {
 			if ops > 50 {
@@ -67,13 +82,14 @@ func AutoSplit() ([]AutoSplitRow, error) {
 
 // FormatAutoSplit renders the threshold sweep.
 func FormatAutoSplit(rows []AutoSplitRow) string {
-	t := &table{header: []string{"threshold", "cycles", "utilization", "fragments", "groups busy"}}
+	t := &table{header: []string{"threshold", "cycles", "utilization", "planned", "fragments", "rejoins", "groups busy"}}
 	for _, r := range rows {
 		th := "off"
 		if r.Threshold > 0 {
 			th = itoa(int64(r.Threshold))
 		}
-		t.add(th, itoa(r.Cycles), f2(r.Utilization), itoa(r.Fragments), itoa(int64(r.GroupsBusy)))
+		t.add(th, itoa(r.Cycles), f2(r.Utilization), itoa(int64(r.Planned)),
+			itoa(r.Fragments), itoa(r.Rejoins), itoa(int64(r.GroupsBusy)))
 	}
 	return t.String()
 }

@@ -457,13 +457,25 @@ func TestAutoSplitSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows[0].Threshold != 0 || rows[0].Fragments != 0 {
+	if rows[0].Threshold != 0 || rows[0].Fragments != 0 || rows[0].Planned != 0 || rows[0].Rejoins != 0 {
 		t.Fatalf("baseline row wrong: %+v", rows[0])
 	}
 	base := rows[0]
 	for _, r := range rows[1:] {
 		if r.Fragments == 0 {
 			t.Fatalf("threshold %d produced no fragments", r.Threshold)
+		}
+		// The frontend splitter is the single source of truth: the run must
+		// create exactly the planned fragments (ceil(256/threshold)) and
+		// every fragment must rejoin its container.
+		if want := (256 + r.Threshold - 1) / r.Threshold; r.Planned != want {
+			t.Fatalf("threshold %d planned %d fragments, want %d", r.Threshold, r.Planned, want)
+		}
+		if r.Fragments != int64(r.Planned) {
+			t.Fatalf("threshold %d created %d fragments, splitter planned %d", r.Threshold, r.Fragments, r.Planned)
+		}
+		if r.Rejoins != r.Fragments {
+			t.Fatalf("threshold %d rejoined %d of %d fragments", r.Threshold, r.Rejoins, r.Fragments)
 		}
 		if r.Cycles >= base.Cycles {
 			t.Fatalf("threshold %d (%d cycles) should beat no splitting (%d)", r.Threshold, r.Cycles, base.Cycles)

@@ -109,6 +109,18 @@ type Config struct {
 
 	// TraceEnabled records per-slice execution for the trace package.
 	TraceEnabled bool
+
+	// StageObserver, when non-nil, receives each step's per-stage cost
+	// attribution (Figure 13 stages) right after the step commits. The
+	// callback runs on the stepping goroutine; observers must not call back
+	// into the machine.
+	StageObserver StageObserver
+}
+
+// StageObserver receives per-step, per-stage cost deltas from the staged
+// engine (see Stats.Stages for the cumulative view).
+type StageObserver interface {
+	ObserveStage(step int64, stage Stage, d StageStats)
 }
 
 // Default returns a small, fully specified configuration for the given
@@ -193,3 +205,30 @@ func (c Config) normalize() (Config, error) {
 
 // TotalProcessors returns P*Tp, the number of TCF processor slots.
 func (c Config) TotalProcessors() int { return c.Groups * c.ProcsPerGroup }
+
+// machineShape projects the configuration onto the slice a variant.Policy
+// consults. Call on a normalized config.
+func (c Config) machineShape() variant.MachineShape {
+	return variant.MachineShape{
+		Groups:           c.Groups,
+		ProcsPerGroup:    c.ProcsPerGroup,
+		BalancedBound:    c.BalancedBound,
+		MultiInstrWindow: c.MultiInstrWindow,
+		VectorWidth:      c.VectorWidth,
+	}
+}
+
+// PolicyShape resolves the variant's registered execution policy and
+// returns the step-execution shape it selects for this configuration
+// (after normalization).
+func (c Config) PolicyShape() (variant.StepShape, error) {
+	n, err := c.normalize()
+	if err != nil {
+		return variant.StepShape{}, err
+	}
+	pol, err := variant.PolicyFor(n.Variant)
+	if err != nil {
+		return variant.StepShape{}, fmt.Errorf("machine: %w", err)
+	}
+	return pol.Shape(n.machineShape()), nil
+}

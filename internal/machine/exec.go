@@ -1,13 +1,8 @@
 package machine
 
 import (
-	"cmp"
-	"slices"
-
 	"tcfpram/internal/isa"
-	"tcfpram/internal/sched"
 	"tcfpram/internal/tcf"
-	"tcfpram/internal/variant"
 )
 
 // SliceExec records one executed slice bundle for tracing: flow f on group
@@ -23,394 +18,14 @@ type SliceExec struct {
 	NUMA        bool
 }
 
-// StepRecord is one step of the execution trace.
+// StepRecord is one step of the execution trace, including the step's
+// per-stage cost attribution (Figure 13 pipeline stages).
 type StepRecord struct {
 	Step        int64
 	Cycles      int64
 	GroupCycles []int64
 	Slices      []SliceExec
-}
-
-// Step advances the machine by one synchronous step.
-func (m *Machine) Step() error {
-	if m.prog == nil || len(m.flows) == 0 {
-		return m.failf("Step before LoadProgram/Boot")
-	}
-	if m.runErr != nil {
-		return m.runErr
-	}
-	// Fail-stop events fire at step boundaries: a dead module's traffic
-	// fails over to a mirrored spare before any reference of this step.
-	if plan := m.cfg.FaultPlan; plan != nil {
-		for _, mod := range plan.ModuleFailuresAt(m.stats.Steps) {
-			if err := m.shared.FailModule(mod); err != nil {
-				return m.failw(ErrFaultUnrecoverable, "step %d: %v", m.stats.Steps, err)
-			}
-			m.stats.Failovers++
-		}
-	}
-	if m.cfg.Variant == variant.MultiInstruction {
-		return m.stepEngine(false)
-	}
-	return m.stepEngine(true)
-}
-
-// stepEngine runs one step. lockstep selects PRAM step semantics (buffered
-// writes, one TCF instruction per flow); otherwise the XMT-style
-// multi-instruction engine with immediate memory semantics runs. All
-// per-step state lives in arenas on the Machine: the steady-state step loop
-// allocates nothing (with tracing disabled).
-func (m *Machine) stepEngine(lockstep bool) error {
-	execs := m.execs
-	for _, x := range execs {
-		x.reset(lockstep)
-	}
-	// Immediate semantics must execute groups serially (they touch memory
-	// directly); lockstep groups are independent within a step. Group 0
-	// runs inline while the rest go to the worker pool.
-	if lockstep && m.cfg.Parallel && len(execs) > 1 {
-		m.wg.Add(len(execs) - 1)
-		for _, x := range execs[1:] {
-			groupPool.submit(poolJob{grp: x, wg: &m.wg})
-		}
-		execs[0].runGroup()
-		m.wg.Wait()
-	} else {
-		for _, x := range execs {
-			x.runGroup()
-		}
-	}
-
-	// Deterministic merge in group order.
-	stepOutputs := m.stepOutputs[:0]
-	events := m.stepEvents[:0]
-	routes := m.routes[:0]
-	var stepCycles int64
-	for _, x := range execs {
-		if x.err != nil {
-			m.runErr = x.err
-			return x.err
-		}
-		for _, w := range x.writes {
-			m.shared.BufferWrite(w.Addr, w.Val, w.Key)
-		}
-		for i := range x.contribs {
-			pc := &x.contribs[i]
-			c := pc.c
-			if pc.hasRoute {
-				routes = append(routes, pc.route)
-				c.Dest = len(routes) - 1
-			}
-			m.combiners[combinerIndex(pc.kind)].Add(c)
-		}
-		stepOutputs = append(stepOutputs, x.outputs...)
-		events = append(events, x.events...)
-
-		opsCycles := x.ops + x.scalarOps
-		var overhead int64
-		if x.fetches > 0 {
-			overhead = int64(m.cfg.PipelineDepth)
-			if x.anyShared {
-				if l := int64(m.cfg.MemLatencyBase + x.maxDist); l > overhead {
-					overhead = l
-				}
-			}
-		}
-		gc := opsCycles + overhead + x.stall + x.faultStall
-		if gc > stepCycles {
-			stepCycles = gc
-		}
-		gi := x.g.Index
-		m.stats.PerGroupOps[gi] += opsCycles
-		m.stats.PerGroupCycles[gi] += gc
-		m.stats.Ops += x.ops
-		m.stats.ScalarOps += x.scalarOps
-		m.stats.InstrFetches += x.fetches
-		m.stats.SharedReads += x.sharedReads
-		m.stats.SharedWrites += x.sharedWrites
-		m.stats.LocalReads += x.localReads
-		m.stats.LocalWrites += x.localWrites
-		m.stats.MultiopRefs += x.multiopRefs
-		m.stats.OverheadCycles += overhead
-		m.stats.StallCycles += x.stall
-		m.stats.FaultStallCycles += x.faultStall
-		m.stats.Retransmits += x.retransmits
-		m.stats.Reroutes += x.reroutes
-		m.stats.Barriers += x.barriers
-		m.stats.LaneChunks += x.laneChunks
-	}
-
-	// Commit buffered writes; resolve combining traffic.
-	conflicts := m.shared.ApplyStep()
-	if len(conflicts) > 0 {
-		return m.failf("step %d: %s", m.stats.Steps, conflicts[0])
-	}
-	for _, comb := range m.combiners {
-		if comb.Len() == 0 {
-			continue
-		}
-		finals, prefixes := comb.Resolve(m.shared.Peek)
-		for addr, v := range finals {
-			m.shared.Poke(addr, v)
-		}
-		for _, p := range prefixes {
-			rt := &routes[p.Dest]
-			rt.flow.Vector(rt.reg)[rt.lane] = p.Prefix
-		}
-	}
-
-	// Cross-flow events: child terminations, splits and OS auto-splits.
-	// Indexed iteration: completing an auto-split container can cascade a
-	// further evChildDone for its own parent.
-	branchBefore := m.stats.FlowBranchCycles
-	for i := 0; i < len(events); i++ {
-		ev := events[i]
-		switch ev.kind {
-		case evChildDone:
-			parent := ev.flow.Parent
-			parent.LiveChildren--
-			m.stats.Joins++
-			if parent.LiveChildren == 0 && parent.State == tcf.Waiting {
-				if parent.ResumePC < 0 {
-					// Auto-split container: the fragments were the rest
-					// of its execution.
-					parent.State = tcf.Done
-					if parent.Parent != nil {
-						events = append(events, deferredEvent{kind: evChildDone, flow: parent})
-					}
-				} else {
-					parent.State = tcf.Ready
-					parent.PC = parent.ResumePC
-				}
-			}
-		case evFragmentRejoin:
-			parent := ev.flow.Parent
-			parent.LiveChildren--
-			m.stats.Joins++
-			// Fragments are scalar-identical; any of them restores the
-			// container's flow-common state and continuation point.
-			parent.SetScalars(ev.flow.Scalars())
-			parent.ResumePC = ev.pc
-			if parent.LiveChildren == 0 && parent.State == tcf.Waiting {
-				parent.State = tcf.Ready
-				parent.PC = ev.pc
-			}
-		case evAutoSplit:
-			m.stats.AutoSplits++
-			offset := 0
-			frags := sched.Fragment(ev.thick, m.cfg.AutoSplitThreshold)
-			ev.flow.LiveChildren = len(frags)
-			for _, size := range frags {
-				g := m.leastLoadedGroup()
-				child := m.newFlow(ev.flow.PC, size, g)
-				child.Parent = ev.flow
-				child.SetScalars(ev.flow.Scalars())
-				child.IsFragment = true
-				child.TidOffset = offset
-				child.TotalThickness = ev.thick
-				offset += size
-				m.stats.FlowBranchCycles += int64(isa.NumSRegs)
-			}
-		case evSplit:
-			m.stats.Splits++
-			for _, arm := range ev.arms {
-				g := m.leastLoadedGroup()
-				child := m.newFlow(arm.pc, arm.thick, g)
-				child.Parent = ev.flow
-				child.SetScalars(ev.flow.Scalars())
-				// Flow branch cost (Table 1): the TCF variants copy the
-				// R common registers into the child, O(R); the XMT-style
-				// multi-instruction model spawns thread contexts in
-				// parallel, O(1).
-				if m.cfg.Variant == variant.MultiInstruction {
-					m.stats.FlowBranchCycles++
-				} else {
-					m.stats.FlowBranchCycles += int64(isa.NumSRegs)
-				}
-			}
-		}
-	}
-	stepCycles += m.stats.FlowBranchCycles - branchBefore
-
-	// Task rotation: preempt at quantum boundaries, drop finished flows,
-	// promote pending tasks (including displacing barrier-blocked
-	// residents so queued tasks can reach the barrier).
-	switchBefore := m.stats.TaskSwitchCycles
-	m.preemptGroups()
-	m.compactGroups()
-	stepCycles += m.stats.TaskSwitchCycles - switchBefore
-
-	// Barrier release: only when no flow anywhere can still run toward
-	// the barrier and at least one is blocked at a BAR.
-	if !m.anyReadyAnywhere() {
-		for _, f := range m.flows {
-			if f.State == tcf.Blocked {
-				f.State = tcf.Ready
-			}
-		}
-	}
-
-	if stepCycles == 0 {
-		stepCycles = 1
-	}
-	m.stats.Cycles += stepCycles
-	m.stats.Steps++
-
-	if m.cfg.TraceEnabled {
-		rec := &StepRecord{Step: m.stats.Steps - 1, Cycles: stepCycles,
-			GroupCycles: make([]int64, len(m.groups))}
-		for _, x := range execs {
-			rec.GroupCycles[x.g.Index] = x.ops + x.scalarOps + x.stall
-			rec.Slices = append(rec.Slices, x.slices...)
-		}
-		m.trace = append(m.trace, rec)
-	}
-
-	// Deterministic output ordering within the step: by flow id, then by
-	// emission order.
-	slices.SortStableFunc(stepOutputs, func(a, b Output) int { return cmp.Compare(a.Flow, b.Flow) })
-	m.output = append(m.output, stepOutputs...)
-
-	// Hand the (possibly grown) scratch slices back to the machine.
-	m.stepOutputs = stepOutputs[:0]
-	m.stepEvents = events[:0]
-	m.routes = routes[:0]
-
-	// Liveness: if nothing can ever run again, fail loudly.
-	if m.liveFlows() > 0 && !m.anyReadyAnywhere() {
-		return m.failw(ErrDeadlock, "step %d: deadlock: live flows but none ready (missing JOIN?)", m.stats.Steps)
-	}
-	return nil
-}
-
-func (m *Machine) anyReadyAnywhere() bool {
-	for _, f := range m.flows {
-		if f.State == tcf.Ready {
-			return true
-		}
-	}
-	return false
-}
-
-// ---- per-group engines ----
-
-// runGroup dispatches to the engine selected at reset time.
-func (x *groupExec) runGroup() {
-	switch {
-	case !x.lockstep:
-		x.runMulti()
-	case x.m.cfg.Variant == variant.Balanced:
-		x.runBalanced()
-	default:
-		x.runSingleInstruction()
-	}
-}
-
-// runSingleInstruction executes one TCF instruction of every resident ready
-// flow (the Single-instruction variant, and the thread variants where every
-// flow is a thickness-1 thread; Figures 7, 10, 11, 12).
-func (x *groupExec) runSingleInstruction() {
-	for slot, f := range x.g.Resident {
-		if f.State != tcf.Ready || x.err != nil {
-			continue
-		}
-		if f.Mode == tcf.NUMA {
-			x.execNUMABunch(f, slot, f.Bunch)
-		} else if in, ok := x.fetch(f); ok {
-			x.execWhole(f, slot, in)
-		}
-	}
-}
-
-// runBalanced executes at most BalancedBound operation slices per step,
-// continuing partially executed TCF instructions across steps (Figure 8).
-// Each flow advances by at most one instruction per step.
-func (x *groupExec) runBalanced() {
-	budget := x.m.cfg.BalancedBound
-	n := len(x.g.Resident)
-	if n == 0 {
-		return
-	}
-	start := x.g.rrStart % n
-	x.g.rrStart++
-	for k := 0; k < n; k++ {
-		slot := (start + k) % n
-		f := x.g.Resident[slot]
-		if budget <= 0 || x.err != nil {
-			break
-		}
-		if f.State != tcf.Ready {
-			continue
-		}
-		if f.Mode == tcf.NUMA {
-			n := f.Bunch
-			if n > budget {
-				n = budget
-			}
-			budget -= x.execNUMABunch(f, slot, n)
-			continue
-		}
-		in, ok := x.fetch(f)
-		if !ok {
-			continue
-		}
-		if !sliceable(f, in) {
-			// Atomic instructions complete in one step; charge their
-			// full width against the budget.
-			x.execWhole(f, slot, in)
-			budget -= width(f, in)
-			continue
-		}
-		w := width(f, in)
-		remaining := w - f.Offset
-		n := remaining
-		if n > budget {
-			n = budget
-		}
-		x.record(f, slot, in, f.Offset, n, false)
-		x.execLaneRange(f, in, f.Offset, n)
-		x.ops += int64(n)
-		budget -= n
-		f.Offset += n
-		if f.Offset >= w {
-			f.Offset = 0
-			f.PC++
-		}
-	}
-}
-
-// runMulti is the XMT-style engine: each flow executes up to
-// MultiInstrWindow instructions with immediate memory semantics; lockstep
-// between flows is abandoned (Figure 9).
-func (x *groupExec) runMulti() {
-	for slot, f := range x.g.Resident {
-		if x.err != nil {
-			return
-		}
-		for k := 0; k < x.m.cfg.MultiInstrWindow; k++ {
-			if f.State != tcf.Ready || x.err != nil {
-				break
-			}
-			in, ok := x.fetch(f)
-			if !ok {
-				break
-			}
-			// XMT threads carry their own program counters: instruction
-			// delivery is per thread, so a thickness-u instruction costs
-			// u fetches (Table 1's Tp fetches per TCF), unlike the
-			// fetch-once TCF variants.
-			if extra := int64(width(f, in) - 1); extra > 0 {
-				x.fetches += extra
-				f.InstrFetches += extra
-			}
-			stop := in.Op.Info().Control &&
-				(in.Op == isa.SPLIT || in.Op == isa.JOIN || in.Op == isa.BAR || in.Op == isa.HALT)
-			x.execWhole(f, slot, in)
-			if stop {
-				break
-			}
-		}
-	}
+	Stages      [NumStages]StageStats
 }
 
 // fetch reads the instruction at f.PC, counting the fetch; a PC past the end
@@ -546,7 +161,7 @@ func (x *groupExec) halt(f *tcf.Flow) {
 
 // applyControl executes a control instruction (flow-level).
 func (x *groupExec) applyControl(f *tcf.Flow, in isa.Instr) {
-	props := x.m.cfg.Variant.Props()
+	props := x.m.policy.Props()
 	switch in.Op {
 	case isa.JMP:
 		f.PC = in.Target

@@ -15,37 +15,27 @@ import (
 )
 
 // Group is one physical pipeline: Tp TCF processor slots sharing a local
-// memory block. Resident holds the flows in the TCF storage buffer; Pending
-// queues flows (tasks) beyond the buffer capacity.
+// memory block. Buf is the group's TCF storage buffer (Figure 13), owned by
+// the frontend.
 type Group struct {
-	Index    int
-	Local    *mem.Local
-	Resident []*tcf.Flow
-	Pending  []*tcf.Flow
-
-	// rrStart rotates the slot the Balanced engine serves first, so a
-	// thick flow cannot starve its slot-mates of the operation budget.
-	rrStart int
+	Index int
+	Local *mem.Local
+	Buf   StorageBuf
 }
 
-// live returns the number of not-Done resident flows.
-func (g *Group) live() int {
-	n := 0
-	for _, f := range g.Resident {
-		if f.State != tcf.Done {
-			n++
-		}
-	}
-	return n
-}
-
-// load returns resident-not-done plus pending flows (placement pressure).
-func (g *Group) load() int { return g.live() + len(g.Pending) }
-
-// Machine is one extended PRAM-NUMA machine instance.
+// Machine is one extended PRAM-NUMA machine instance, organized as the
+// staged pipeline of Figure 13: the frontend owns the TCF storage buffers
+// (residency, task rotation, balanced splitting of overly thick flows), the
+// backend owns operation generation, memory resolution and commit, and each
+// step hands a StepPlan from the one to the other.
 type Machine struct {
-	cfg  Config
-	prog *isa.Program
+	cfg    Config
+	policy variant.Policy
+	shape  variant.StepShape
+	prog   *isa.Program
+
+	front frontend
+	back  backend
 
 	shared *mem.Shared
 	groups []*Group
@@ -82,12 +72,20 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	pol, err := variant.PolicyFor(c.Variant)
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
 	m := &Machine{
 		cfg:       c,
+		policy:    pol,
+		shape:     pol.Shape(c.machineShape()),
 		shared:    mem.NewShared(c.SharedWords, c.Groups, c.WritePolicy),
 		flows:     make(map[int]*tcf.Flow),
 		homeGroup: make(map[int]int),
 	}
+	m.front.m = m
+	m.back.m = m
 	for i, kind := range combineKinds {
 		m.combiners[i] = multiop.NewCombiner(kind)
 	}
@@ -185,35 +183,12 @@ func (m *Machine) newFlow(pc, thickness, g int) *tcf.Flow {
 	f := tcf.New(m.nextFlowID, pc, thickness)
 	m.nextFlowID++
 	m.flows[f.ID] = f
-	m.placeFlow(f, g)
+	m.front.place(f, g)
 	m.stats.FlowsCreated++
 	if live := m.liveFlows(); live > m.stats.MaxLiveFlows {
 		m.stats.MaxLiveFlows = live
 	}
 	return f
-}
-
-func (m *Machine) placeFlow(f *tcf.Flow, g int) {
-	grp := m.groups[g]
-	f.Home = g
-	m.homeGroup[f.ID] = g
-	if len(grp.Resident) < m.cfg.ProcsPerGroup {
-		grp.Resident = append(grp.Resident, f)
-	} else {
-		grp.Pending = append(grp.Pending, f)
-	}
-}
-
-// leastLoadedGroup picks the group with minimum load (ties: lowest index),
-// the horizontal allocation rule of Section 4.
-func (m *Machine) leastLoadedGroup() int {
-	best, bestLoad := 0, int(^uint(0)>>1)
-	for i, g := range m.groups {
-		if l := g.load(); l < bestLoad {
-			best, bestLoad = i, l
-		}
-	}
-	return best
 }
 
 // liveFlows counts flows not yet Done.
@@ -227,98 +202,7 @@ func (m *Machine) liveFlows() int {
 	return n
 }
 
-// preemptGroups rotates one ready resident flow per group back to the
-// pending queue when the time-slice quantum expires, giving queued tasks a
-// turn — preemptive time-shared multitasking with TCFs as tasks.
-func (m *Machine) preemptGroups() {
-	q := m.cfg.TimeSliceSteps
-	if q <= 0 || m.stats.Steps == 0 || m.stats.Steps%q != 0 {
-		return
-	}
-	for _, g := range m.groups {
-		if len(g.Pending) == 0 {
-			continue
-		}
-		for i, f := range g.Resident {
-			if f.State != tcf.Ready {
-				continue
-			}
-			g.Resident = append(g.Resident[:i], g.Resident[i+1:]...)
-			g.Pending = append(g.Pending, f)
-			m.stats.TaskSwitches++
-			if m.cfg.Variant.Props().FixedThreads {
-				m.stats.TaskSwitchCycles += int64(m.cfg.ProcsPerGroup)
-			}
-			break
-		}
-	}
-}
-
-// compactGroups drops Done flows from the TCF buffers and promotes pending
-// flows into freed slots — the zero-cost task switch of the TCF variants
-// (Table 1): rotating the TCF storage buffer costs no cycles.
-func (m *Machine) compactGroups() {
-	for _, g := range m.groups {
-		keep := g.Resident[:0]
-		for _, f := range g.Resident {
-			if f.State != tcf.Done {
-				keep = append(keep, f)
-			}
-		}
-		g.Resident = keep
-		for len(g.Resident) < m.cfg.ProcsPerGroup && len(g.Pending) > 0 {
-			g.Resident = append(g.Resident, g.Pending[0])
-			g.Pending = g.Pending[1:]
-			m.noteTaskSwitch()
-		}
-		// Flows parked at a barrier (or waiting on children) do not
-		// execute; displace them so queued ready tasks can run — without
-		// this, a barrier across an oversubscribed task set deadlocks
-		// (blocked flows hold every slot while the tasks that must still
-		// reach the barrier sit in the queue).
-		for pendingReady(g.Pending) {
-			idx := -1
-			for i, f := range g.Resident {
-				if f.State == tcf.Blocked || f.State == tcf.Waiting {
-					idx = i
-					break
-				}
-			}
-			if idx < 0 {
-				break
-			}
-			displaced := g.Resident[idx]
-			next := g.Pending[0]
-			g.Pending = append(g.Pending[1:], displaced)
-			g.Resident[idx] = next
-			m.noteTaskSwitch()
-		}
-	}
-}
-
-// pendingReady reports whether any queued flow could execute.
-func pendingReady(pending []*tcf.Flow) bool {
-	for _, f := range pending {
-		if f.State == tcf.Ready {
-			return true
-		}
-	}
-	return false
-}
-
-// noteTaskSwitch accounts one task rotation: free for TCF variants, O(1)
-// for XMT spawning, a full Tp-context switch for the thread machines
-// (Table 1).
-func (m *Machine) noteTaskSwitch() {
-	m.stats.TaskSwitches++
-	if m.cfg.Variant.Props().FixedThreads {
-		m.stats.TaskSwitchCycles += int64(m.cfg.ProcsPerGroup)
-	} else if m.cfg.Variant == variant.MultiInstruction {
-		m.stats.TaskSwitchCycles++
-	}
-}
-
-// Boot creates the initial flow population for the configured variant:
+// Boot creates the initial flow population the variant's policy prescribes:
 //
 //   - TCF variants (SingleInstruction, Balanced, MultiInstruction): one flow
 //     of thickness 1 at the program entry (Section 2.2: a program starts
@@ -334,17 +218,8 @@ func (m *Machine) Boot() error {
 		return fmt.Errorf("machine: already booted")
 	}
 	entry := m.prog.Entry()
-	switch {
-	case m.cfg.Variant.Props().FixedThreads:
-		for g := 0; g < m.cfg.Groups; g++ {
-			for s := 0; s < m.cfg.ProcsPerGroup; s++ {
-				m.newFlow(entry, 1, g)
-			}
-		}
-	case m.cfg.Variant == variant.FixedThickness:
-		m.newFlow(entry, m.cfg.VectorWidth, 0)
-	default:
-		m.newFlow(entry, 1, 0)
+	for _, bf := range m.policy.BootFlows(m.cfg.machineShape()) {
+		m.newFlow(entry, bf.Thickness, bf.Group)
 	}
 	return nil
 }

@@ -213,11 +213,11 @@ type groupExec struct {
 	m *Machine
 	g *Group
 
-	// immediate selects XMT-style memory semantics (MultiInstruction):
-	// loads see the current state, stores apply instantly.
+	// plan is the StepPlan stamped at reset; runGroup executes it.
+	plan StepPlan
+	// immediate caches !plan.Lockstep: XMT-style memory semantics where
+	// loads see the current state and stores apply instantly.
 	immediate bool
-	// lockstep mirrors !immediate for the step engine's dispatch.
-	lockstep bool
 
 	ops       int64
 	scalarOps int64
@@ -266,10 +266,11 @@ type groupExec struct {
 	err error
 }
 
-// reset prepares the arena for a new step, keeping every allocation.
-func (x *groupExec) reset(lockstep bool) {
-	x.immediate = !lockstep
-	x.lockstep = lockstep
+// reset prepares the arena for a new step under plan, keeping every
+// allocation.
+func (x *groupExec) reset(plan StepPlan) {
+	x.plan = plan
+	x.immediate = !plan.Lockstep
 	x.ops, x.scalarOps, x.fetches = 0, 0, 0
 	x.anyShared, x.maxDist, x.stall = false, 0, 0
 	x.faultStall, x.retransmits, x.reroutes, x.refSeq = 0, 0, 0, 0
@@ -290,7 +291,6 @@ func (x *groupExec) reset(lockstep bool) {
 // lane, keeping fault decisions identical to serial execution).
 func (x *groupExec) resetLaneWorker(refSeq int64) {
 	x.immediate = false
-	x.lockstep = true
 	x.ops, x.scalarOps, x.fetches = 0, 0, 0
 	x.anyShared, x.maxDist, x.stall = false, 0, 0
 	x.faultStall, x.retransmits, x.reroutes = 0, 0, 0

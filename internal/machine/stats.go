@@ -46,6 +46,57 @@ type Stats struct {
 
 	PerGroupOps    []int64
 	PerGroupCycles []int64
+
+	// Stages attributes the run's costs to the Figure 13 pipeline stages:
+	// frontend (task rotation, flow branching), operation generation
+	// (fetch + execute), memory resolution (latency, stalls) and commit
+	// (writeback events; commit itself costs no cycles in the model).
+	Stages [NumStages]StageStats
+}
+
+// Stage identifies one stage of the Figure 13 processor pipeline for
+// per-stage cost attribution.
+type Stage int
+
+const (
+	// StageFrontend is the TCF storage buffer: task rotation, flow
+	// branching (splits/joins) and balanced splitting of overly thick
+	// flows.
+	StageFrontend Stage = iota
+	// StageOpGen is thickness-driven operation generation: instruction
+	// fetch and operation-slice execution.
+	StageOpGen
+	// StageMemory is shared/local memory resolution: pipeline/latency
+	// overhead, NUMA stalls and fault-recovery stalls.
+	StageMemory
+	// StageCommit is writeback at the step boundary: buffered write commit
+	// and multioperation resolution.
+	StageCommit
+
+	// NumStages sizes per-stage arrays.
+	NumStages
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageFrontend:
+		return "frontend"
+	case StageOpGen:
+		return "opgen"
+	case StageMemory:
+		return "memory"
+	case StageCommit:
+		return "commit"
+	}
+	return fmt.Sprintf("Stage(%d)", int(s))
+}
+
+// StageStats is one stage's share of the run: cycles on the critical path
+// and countable stage events (fetches, memory references, committed writes,
+// task switches + flow branches, depending on the stage).
+type StageStats struct {
+	Cycles int64
+	Events int64
 }
 
 // Utilization returns the fraction of group-cycles spent executing operation

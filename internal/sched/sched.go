@@ -4,17 +4,26 @@
 // balanced single-instruction execution, and TCF-as-task multitask planning.
 package sched
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadParam is the sentinel wrapped by every scheduling primitive that is
+// handed an impossible parameter (non-positive part count or bound, negative
+// total or thickness). Dispatch with errors.Is, like the machine's run-error
+// taxonomy.
+var ErrBadParam = errors.New("bad parameter")
 
 // Partition splits total units into parts nearly equal shares (difference at
 // most one, larger shares first). parts must be positive; total must be
-// non-negative.
-func Partition(total, parts int) []int {
+// non-negative; violations return an error wrapping ErrBadParam.
+func Partition(total, parts int) ([]int, error) {
 	if parts <= 0 {
-		panic("sched: parts must be positive")
+		return nil, fmt.Errorf("sched: parts must be positive, got %d: %w", parts, ErrBadParam)
 	}
 	if total < 0 {
-		panic("sched: negative total")
+		return nil, fmt.Errorf("sched: negative total %d: %w", total, ErrBadParam)
 	}
 	out := make([]int, parts)
 	base := total / parts
@@ -25,22 +34,23 @@ func Partition(total, parts int) []int {
 			out[i]++
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Fragment splits a flow of thickness u into fragments of at most bound
 // lanes each — the OS-level splitting of overly thick flows that the
 // balanced single-instruction execution requires (Section 3.3). A zero u
-// yields a single empty fragment.
-func Fragment(u, bound int) []int {
+// yields a single empty fragment. A non-positive bound or negative u returns
+// an error wrapping ErrBadParam.
+func Fragment(u, bound int) ([]int, error) {
 	if bound <= 0 {
-		panic("sched: bound must be positive")
+		return nil, fmt.Errorf("sched: bound must be positive, got %d: %w", bound, ErrBadParam)
 	}
 	if u < 0 {
-		panic("sched: negative thickness")
+		return nil, fmt.Errorf("sched: negative thickness %d: %w", u, ErrBadParam)
 	}
 	if u == 0 {
-		return []int{0}
+		return []int{0}, nil
 	}
 	var out []int
 	for u > 0 {
@@ -51,14 +61,14 @@ func Fragment(u, bound int) []int {
 		out = append(out, n)
 		u -= n
 	}
-	return out
+	return out, nil
 }
 
 // HorizontalShares returns the per-group thickness shares for allocating an
 // application of thickness tApp horizontally across p groups — the
 // allocation Section 4 recommends over vertical allocation (a single
 // tApp-thick flow on one group).
-func HorizontalShares(tApp, p int) []int { return Partition(tApp, p) }
+func HorizontalShares(tApp, p int) ([]int, error) { return Partition(tApp, p) }
 
 // Imbalance returns max(shares) - min(shares); horizontal allocation keeps
 // this at most 1.

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -25,7 +26,10 @@ func TestPartitionKnown(t *testing.T) {
 		{7, 1, []int{7}},
 	}
 	for _, c := range cases {
-		got := Partition(c.total, c.parts)
+		got, err := Partition(c.total, c.parts)
+		if err != nil {
+			t.Fatalf("Partition(%d,%d): %v", c.total, c.parts, err)
+		}
 		if len(got) != len(c.want) {
 			t.Fatalf("Partition(%d,%d) = %v", c.total, c.parts, got)
 		}
@@ -42,8 +46,8 @@ func TestPartitionProperties(t *testing.T) {
 	prop := func(total uint16, parts uint8) bool {
 		p := int(parts%32) + 1
 		tot := int(total % 4096)
-		shares := Partition(tot, p)
-		if sum(shares) != tot || Imbalance(shares) > 1 {
+		shares, err := Partition(tot, p)
+		if err != nil || sum(shares) != tot || Imbalance(shares) > 1 {
 			return false
 		}
 		for _, s := range shares {
@@ -59,18 +63,21 @@ func TestPartitionProperties(t *testing.T) {
 }
 
 func TestFragment(t *testing.T) {
-	got := Fragment(10, 4)
+	got, err := Fragment(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []int{4, 4, 2}
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("Fragment(10,4) = %v", got)
 		}
 	}
-	if got := Fragment(0, 4); len(got) != 1 || got[0] != 0 {
-		t.Fatalf("Fragment(0,4) = %v", got)
+	if got, err := Fragment(0, 4); err != nil || len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Fragment(0,4) = %v, %v", got, err)
 	}
-	if got := Fragment(3, 4); len(got) != 1 || got[0] != 3 {
-		t.Fatalf("Fragment(3,4) = %v", got)
+	if got, err := Fragment(3, 4); err != nil || len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Fragment(3,4) = %v, %v", got, err)
 	}
 }
 
@@ -80,8 +87,8 @@ func TestFragmentProperties(t *testing.T) {
 	prop := func(u uint16, bound uint8) bool {
 		b := int(bound%16) + 1
 		uu := int(u % 2048)
-		fr := Fragment(uu, b)
-		if sum(fr) != uu {
+		fr, err := Fragment(uu, b)
+		if err != nil || sum(fr) != uu {
 			return false
 		}
 		wantCount := (uu + b - 1) / b
@@ -103,12 +110,35 @@ func TestFragmentProperties(t *testing.T) {
 	}
 }
 
+// TestBadParams covers the error taxonomy: every reachable misuse of the
+// partitioning primitives returns an error wrapping ErrBadParam instead of
+// panicking (PR-2 error discipline).
+func TestBadParams(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		call func() ([]int, error)
+	}{
+		{"Partition zero parts", func() ([]int, error) { return Partition(1, 0) }},
+		{"Partition negative total", func() ([]int, error) { return Partition(-1, 2) }},
+		{"Fragment zero bound", func() ([]int, error) { return Fragment(1, 0) }},
+		{"Fragment negative thickness", func() ([]int, error) { return Fragment(-1, 2) }},
+		{"HorizontalShares zero groups", func() ([]int, error) { return HorizontalShares(8, 0) }},
+	} {
+		out, err := c.call()
+		if err == nil || !errors.Is(err, ErrBadParam) {
+			t.Errorf("%s: got (%v, %v), want ErrBadParam", c.name, out, err)
+		}
+		if out != nil {
+			t.Errorf("%s: non-nil shares %v alongside error", c.name, out)
+		}
+	}
+}
+
+// TestPanics pins the remaining programmer-error panics: these guard
+// unreachable states (corrupt enum, negative round count from a caller bug),
+// not data-dependent inputs, so they stay panics.
 func TestPanics(t *testing.T) {
 	for _, f := range []func(){
-		func() { Partition(1, 0) },
-		func() { Partition(-1, 2) },
-		func() { Fragment(1, 0) },
-		func() { Fragment(-1, 2) },
 		func() { SwitchCost(9).Cycles(4) },
 		func() { RoundRobinPlan(nil, -1, 4, SwitchTCF) },
 	} {
@@ -130,7 +160,11 @@ func TestHorizontalBeatsVertical(t *testing.T) {
 	prop := func(tApp uint16, p uint8) bool {
 		groups := int(p%8) + 1
 		total := int(tApp%1024) + 1
-		horizontal := Makespan(HorizontalShares(total, groups))
+		shares, err := HorizontalShares(total, groups)
+		if err != nil {
+			return false
+		}
+		horizontal := Makespan(shares)
 		vertical := Makespan(append([]int{total}, make([]int, groups-1)...))
 		if horizontal > vertical {
 			return false

@@ -65,6 +65,43 @@ const (
 // Variants lists all execution variants.
 func Variants() []Variant { return variant.Kinds() }
 
+// Policy is the pluggable execution discipline of a variant: its step shape
+// (lockstep, window, budget, fetch discipline), boot population, and the
+// Table 1 task-switch/flow-branch cost rates the staged engine charges.
+type Policy = variant.Policy
+
+// StepShape describes how a policy shapes one machine step.
+type StepShape = variant.StepShape
+
+// MachineShape is the configuration slice a policy consults.
+type MachineShape = variant.MachineShape
+
+// PolicyFor resolves the registered execution policy of a variant.
+func PolicyFor(v Variant) (Policy, error) { return variant.PolicyFor(v) }
+
+// Stage identifies one stage of the Figure 13 execution pipeline
+// (frontend, operation generation, memory resolution, commit).
+type Stage = machine.Stage
+
+// The pipeline stages, in execution order.
+const (
+	StageFrontend = machine.StageFrontend
+	StageOpGen    = machine.StageOpGen
+	StageMemory   = machine.StageMemory
+	StageCommit   = machine.StageCommit
+)
+
+// StageStats is the per-stage cost attribution (see Stats.Stages for the
+// cumulative per-run view and Config.StageObserver for per-step streaming).
+type StageStats = machine.StageStats
+
+// StageObserver receives per-step, per-stage cost deltas from the staged
+// engine; install via Config.StageObserver.
+type StageObserver = machine.StageObserver
+
+// StageCollector is a ready-made StageObserver accumulating stage totals.
+type StageCollector = trace.StageCollector
+
 // ParseVariant resolves a variant name ("tcf", "xmt", "esm", "pram-numa",
 // "simd", "balanced", or the full names).
 func ParseVariant(s string) (Variant, error) { return variant.ParseKind(s) }
@@ -246,6 +283,10 @@ type symInfo struct {
 	Addr     int64
 	ArrayLen int
 }
+
+// StageTable renders the cumulative Figure 13 per-stage cost attribution of
+// the run so far (always available; no tracing required).
+func (m *Machine) StageTable() string { return trace.StageTable(m.inner.Stats()) }
 
 // Timeline renders the step/slice schedule (requires Config.TraceEnabled).
 func (m *Machine) Timeline() string { return trace.Timeline(m.inner) }
