@@ -2,7 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchall table figures net examples fuzz clean
+.PHONY: all build test race bench benchall table figures net examples fuzz lint vet clean
+
+# Pinned linter versions, fetched on demand with `go run` so the repo adds
+# no module dependencies. Bump deliberately; CI uses the same pins.
+STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
+GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
 # Step-engine benchmark sweep recorded in BENCH_step_engine.json.
 BENCH_PATTERN ?= BenchmarkFig7|BenchmarkS4a_VectorAdd|BenchmarkEngine_Step
@@ -54,6 +59,22 @@ fuzz:
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=30s ./internal/isa/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/isa/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/lang/
+	$(GO) test -fuzz=FuzzAnalyze -fuzztime=30s ./internal/analysis/
+
+# lint runs the pinned static checkers on top of go vet (requires network
+# access the first time, to fetch the pinned tools).
+lint:
+	$(GO) vet ./...
+	$(GO) run $(STATICCHECK) ./...
+	$(GO) run $(GOVULNCHECK) ./...
+
+# vet runs tcfvet over every checked-in tcf-e program (codegen corpus and
+# example sources) and compares against the expected-findings file, so new
+# analyzer findings on the corpus are caught as regressions.
+vet:
+	$(GO) run ./cmd/tcfvet -discipline crew \
+		-expect internal/analysis/testdata/expected_findings.txt \
+		internal/codegen/testdata examples
 
 clean:
 	rm -f test_output.txt bench_output.txt

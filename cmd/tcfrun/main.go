@@ -10,6 +10,10 @@
 //
 // Flags select the variant (-variant tcf|balanced|xmt|esm|pram-numa|simd),
 // machine shape (-groups, -procs), and diagnostics (-trace, -gantt, -dis).
+// -vet statically analyzes a tcf-e program before running it (errors abort
+// the run); -discipline erew|crew enables the runtime memory-discipline
+// cross-checker, stopping the run on same-step conflicts the selected PRAM
+// model forbids.
 package main
 
 import (
@@ -43,6 +47,8 @@ func run(args []string, out io.Writer) error {
 	showDis := fs.Bool("dis", false, "print the compiled program listing")
 	showMem := fs.String("mem", "", "dump shared memory range, e.g. -mem 300:8")
 	svgPath := fs.String("svg", "", "write the schedule as an SVG file (implies tracing)")
+	vet := fs.Bool("vet", false, "statically analyze tcf-e source before running (error findings abort)")
+	discName := fs.String("discipline", "", "memory discipline checked at runtime (and by -vet): erew|crew|crcw|off")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -77,6 +83,11 @@ func run(args []string, out io.Writer) error {
 		cfg.BalancedBound = *bound
 	}
 	cfg.TraceEnabled = *showTrace || *showGantt || *svgPath != ""
+	disc, err := tcfpram.ParseDiscipline(*discName)
+	if err != nil {
+		return err
+	}
+	cfg.MemDiscipline = disc
 
 	var src []byte
 	if path == "-" {
@@ -103,6 +114,25 @@ func run(args []string, out io.Writer) error {
 	case "":
 	default:
 		return fmt.Errorf("unknown -lang %q (want tcfe, asm or bin)", *langSel)
+	}
+
+	if *vet && lang == "tcfe" {
+		// Without an explicit -discipline, vet under CREW (the tcfvet
+		// default); an explicit "off" runs the hygiene checks only.
+		vetDisc := disc
+		if *discName == "" {
+			vetDisc = tcfpram.DisciplineCREW
+		}
+		ds := tcfpram.Vet(path, string(src), tcfpram.VetOptions{
+			Discipline: vetDisc,
+			Variant:    kind,
+		})
+		if r := tcfpram.RenderDiagnostics(ds); r != "" {
+			fmt.Fprint(out, r)
+		}
+		if tcfpram.DiagnosticsHaveErrors(ds) {
+			return fmt.Errorf("vet: %d finding(s); not running", len(ds))
+		}
 	}
 
 	m, err := tcfpram.NewMachine(cfg)

@@ -1,0 +1,220 @@
+// Command tcfvet statically checks tcf-e programs: memory-discipline
+// conformance under a selectable PRAM model (EREW/CREW/CRCW) and flow
+// hygiene (unreachable code, dead stores, zero thickness, barriers inside
+// parallel arms, constant out-of-range indices, overlapping @ placements).
+//
+// Usage:
+//
+//	tcfvet [flags] path...
+//
+// Each path may be a .te file, a .go file (every embedded raw-string
+// constant containing a tcf-e main function is vetted, with positions
+// mapped back to the .go file), or a directory (walked recursively for
+// both). With -expect FILE the rendered findings are compared against a
+// checked-in golden file and the exit status reports the comparison, so CI
+// fails on *new* findings rather than on known ones.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tcfpram/internal/analysis"
+	"tcfpram/internal/diag"
+	"tcfpram/internal/mem"
+	"tcfpram/internal/variant"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tcfvet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tcfvet", flag.ContinueOnError)
+	discName := fs.String("discipline", "crew", "memory discipline to check: erew|crew|crcw|off")
+	variantName := fs.String("variant", "tcf", "execution variant assumed for variant-sensitive checks")
+	expect := fs.String("expect", "", "golden findings file: compare instead of just printing")
+	errorsOnly := fs.Bool("errors-only", false, "report only error-severity findings")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("expected at least one path (.te file, .go file or directory)")
+	}
+	disc, err := mem.ParseDiscipline(*discName)
+	if err != nil {
+		return err
+	}
+	vk, err := variant.ParseKind(*variantName)
+	if err != nil {
+		return err
+	}
+
+	units, err := collectUnits(fs.Args())
+	if err != nil {
+		return err
+	}
+	var all []diag.Diagnostic
+	for _, u := range units {
+		ds := analysis.AnalyzeSource(u.name, u.src, analysis.Options{
+			Discipline: disc,
+			Variant:    vk,
+		})
+		for _, d := range ds {
+			if *errorsOnly && d.Severity < diag.Error {
+				continue
+			}
+			d.Pos.Line += u.lineOff
+			all = append(all, d)
+		}
+	}
+	diag.Sort(all)
+	got := diag.Render(all)
+
+	if *expect != "" {
+		want, err := os.ReadFile(*expect)
+		if err != nil {
+			return err
+		}
+		if normalize(got) != normalize(string(want)) {
+			fmt.Fprintf(out, "findings differ from %s:\n--- want ---\n%s--- got ---\n%s",
+				*expect, normalize(string(want)), normalize(got))
+			return fmt.Errorf("findings differ from %s", *expect)
+		}
+		fmt.Fprintf(out, "tcfvet: %d unit(s) match %s (%d finding(s))\n",
+			len(units), *expect, len(all))
+		return nil
+	}
+	if got != "" {
+		fmt.Fprint(out, got)
+	}
+	if len(all) > 0 {
+		return fmt.Errorf("%d finding(s) in %d unit(s)", len(all), len(units))
+	}
+	fmt.Fprintf(out, "tcfvet: %d unit(s) clean\n", len(units))
+	return nil
+}
+
+func normalize(s string) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	var keep []string
+	for _, l := range lines {
+		l = strings.TrimSpace(l)
+		if l != "" && !strings.HasPrefix(l, "#") {
+			keep = append(keep, l)
+		}
+	}
+	if len(keep) == 0 {
+		return ""
+	}
+	return strings.Join(keep, "\n") + "\n"
+}
+
+// unit is one tcf-e compilation unit to vet. lineOff maps positions of
+// programs embedded in .go files back to their host file.
+type unit struct {
+	name    string
+	src     string
+	lineOff int
+}
+
+func collectUnits(paths []string) ([]unit, error) {
+	var units []unit
+	for _, p := range paths {
+		st, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if st.IsDir() {
+			err = filepath.WalkDir(p, func(path string, d os.DirEntry, err error) error {
+				if err != nil || d.IsDir() {
+					return err
+				}
+				switch filepath.Ext(path) {
+				case ".te":
+					u, err := teUnit(path)
+					if err != nil {
+						return err
+					}
+					units = append(units, u)
+				case ".go":
+					us, err := goUnits(path)
+					if err != nil {
+						return err
+					}
+					units = append(units, us...)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		switch filepath.Ext(p) {
+		case ".go":
+			us, err := goUnits(p)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, us...)
+		default:
+			u, err := teUnit(p)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, u)
+		}
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].name < units[j].name })
+	return units, nil
+}
+
+func teUnit(path string) (unit, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return unit{}, err
+	}
+	return unit{name: filepath.ToSlash(path), src: string(src)}, nil
+}
+
+// goUnits extracts tcf-e programs embedded in a Go file as raw-string
+// literals containing a main function. Diagnostic lines are offset so they
+// point into the host .go file.
+func goUnits(path string) ([]unit, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	var units []unit
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING || !strings.HasPrefix(lit.Value, "`") {
+			return true
+		}
+		src := strings.Trim(lit.Value, "`")
+		if !strings.Contains(src, "func main(") {
+			return true
+		}
+		// Line 1 of the embedded source sits on the literal's first line.
+		units = append(units, unit{
+			name:    filepath.ToSlash(path),
+			src:     src,
+			lineOff: fset.Position(lit.Pos()).Line - 1,
+		})
+		return true
+	})
+	return units, nil
+}

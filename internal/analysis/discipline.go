@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"fmt"
+
+	"tcfpram/internal/diag"
+	"tcfpram/internal/lang"
+	"tcfpram/internal/mem"
+	"tcfpram/internal/sema"
+)
+
+// access is one shared/local-memory access a statement performs: which
+// symbol, whether it writes, whether the access is thick (one address per
+// thread) and the classification of its index expression.
+type access struct {
+	pos   lang.Pos
+	sym   *sema.Sym
+	write bool
+	thick bool
+	idx   idxInfo
+}
+
+// addrRange resolves the access to a [lo,hi) word interval when possible:
+// the exact word for flow-common indices, the whole array otherwise.
+func (acc access) addrRange() (lo, hi int64) {
+	if acc.idx.kind == idxCommon && acc.idx.valKnown {
+		lo = acc.sym.Addr + acc.idx.val
+		return lo, lo + 1
+	}
+	if acc.sym.ArrayLen >= 0 {
+		n := int64(acc.sym.ArrayLen)
+		if n < 1 {
+			n = 1
+		}
+		return acc.sym.Addr, acc.sym.Addr + n
+	}
+	return acc.sym.Addr, acc.sym.Addr + 1
+}
+
+func (fa *funcAnalysis) memSym(n any) *sema.Sym {
+	sym := fa.a.info.Syms[n]
+	if sym != nil && sym.Space != lang.SpaceReg {
+		return sym
+	}
+	return nil
+}
+
+// stmtAccesses collects the memory accesses of one leaf statement,
+// mirroring codegen's access widths: a store through an index is thick iff
+// the index or the stored value is thick; a load through an index is thick
+// iff the index is thick; scalar-variable accesses are always scalar.
+// Multioperation intrinsics are exempt — concurrent combining is their
+// point — so &-arguments contribute no access (their index expressions,
+// evaluated in registers, still do).
+func (fa *funcAnalysis) stmtAccesses(s lang.Stmt) []access {
+	var out []access
+	add := func(a access) { out = append(out, a) }
+	switch s := s.(type) {
+	case *lang.VarDecl:
+		fa.exprAccesses(s.InitExpr, add)
+	case *lang.AssignStmt:
+		fa.exprAccesses(s.RHS, add)
+		switch lhs := s.LHS.(type) {
+		case *lang.Ident:
+			if sym := fa.memSym(lhs); sym != nil {
+				if s.Op != lang.TokAssign {
+					add(access{pos: lhs.Pos, sym: sym, idx: commonVal(0)})
+				}
+				add(access{pos: lhs.Pos, sym: sym, write: true, idx: commonVal(0)})
+			}
+		case *lang.Index:
+			fa.exprAccesses(lhs.Idx, add)
+			if sym := fa.memSym(lhs); sym != nil {
+				idxThick := fa.a.info.Kinds[lhs.Idx] == sema.KindThick
+				rhsThick := fa.a.info.Kinds[s.RHS] == sema.KindThick
+				ci := fa.classify(lhs.Idx, 0)
+				if s.Op != lang.TokAssign {
+					add(access{pos: lhs.Pos, sym: sym, thick: idxThick, idx: ci})
+				}
+				add(access{pos: lhs.Pos, sym: sym, write: true,
+					thick: idxThick || rhsThick, idx: ci})
+			}
+		}
+	case *lang.ExprStmt:
+		fa.exprAccesses(s.X, add)
+	case *lang.ThickStmt:
+		fa.exprAccesses(s.X, add)
+	case *lang.NumaStmt:
+		fa.exprAccesses(s.X, add)
+	case *lang.ReturnStmt:
+		fa.exprAccesses(s.X, add)
+	}
+	return out
+}
+
+// exprAccesses collects the loads an expression performs.
+func (fa *funcAnalysis) exprAccesses(e lang.Expr, add func(access)) {
+	if e == nil {
+		return
+	}
+	lang.Inspect(e, func(n any) bool {
+		switch n := n.(type) {
+		case *lang.Index:
+			if sym := fa.memSym(n); sym != nil {
+				add(access{pos: n.Pos, sym: sym,
+					thick: fa.a.info.Kinds[n.Idx] == sema.KindThick,
+					idx:   fa.classify(n.Idx, 0)})
+			}
+		case *lang.Ident:
+			if sym := fa.memSym(n); sym != nil {
+				add(access{pos: n.Pos, sym: sym, idx: commonVal(0)})
+			}
+		}
+		return true
+	})
+}
+
+// checkAccess reports a discipline violation when one thick instruction
+// provably touches the same word from two threads in one step.
+func (fa *funcAnalysis) checkAccess(acc access, t thick) {
+	d := fa.a.opts.Discipline
+	if !d.Checks() || !acc.thick || !acc.idx.collides(t) {
+		return
+	}
+	if acc.write {
+		fa.reportAccess(acc, t, "concurrent-write",
+			"concurrent write to %s under %s: %s")
+	} else if d == mem.DisciplineEREW {
+		fa.reportAccess(acc, t, "concurrent-read",
+			"concurrent read of %s under %s: %s")
+	}
+}
+
+func (fa *funcAnalysis) reportAccess(acc access, t thick, check, format string) {
+	d := fa.a.report(diag.New(acc.pos, diag.Error, check, format,
+		acc.sym.Name, fa.a.opts.Discipline, collideWhy(acc.idx, t)))
+	d.Addr, d.AddrEnd = acc.addrRange()
+}
+
+func collideWhy(i idxInfo, t thick) string {
+	switch i.kind {
+	case idxCommon:
+		if i.valKnown {
+			return fmt.Sprintf("all %d threads access index %d in one step", t.n, i.val)
+		}
+		return fmt.Sprintf("the index is flow-common across all %d threads", t.n)
+	case idxMod:
+		return fmt.Sprintf("the index takes at most %d distinct values over %d threads", i.mod, t.n)
+	case idxDup:
+		return fmt.Sprintf("the index provably repeats among the %d threads", t.n)
+	}
+	return "the index provably collides"
+}
+
+// checkParallel walks the function body and, for every parallel statement,
+// checks arm thickness sanity, barriers inside arms on lockstep variants,
+// and constant-address conflicts between sibling arms (arms run as
+// concurrent flows, so same-step accesses to one word are possible).
+func (fa *funcAnalysis) checkParallel() {
+	lockstep := fa.a.opts.Variant.Props().Lockstep
+	var walk func(n any, inArm bool)
+	walk = func(n any, inArm bool) {
+		lang.Inspect(n, func(m any) bool {
+			switch m := m.(type) {
+			case *lang.BarrierStmt:
+				if inArm && lockstep {
+					fa.a.report(diag.New(m.Pos, diag.Warning, "barrier-in-parallel",
+						"barrier inside a parallel arm: on lockstep variants sibling arms "+
+							"advance one instruction per step and a barrier here can deadlock "+
+							"arms of different lengths"))
+				}
+			case *lang.ParallelStmt:
+				fa.checkParallelStmt(m)
+				for i := range m.Arms {
+					walk(m.Arms[i].Body, true)
+				}
+				return false // arms handled above
+			}
+			return true
+		})
+	}
+	if fa.fn.Body != nil {
+		walk(fa.fn.Body, false)
+	}
+}
+
+func (fa *funcAnalysis) checkParallelStmt(p *lang.ParallelStmt) {
+	// Arm thickness sanity.
+	for i := range p.Arms {
+		arm := &p.Arms[i]
+		if v, ok := fa.fold(arm.Thick); ok {
+			if v == 0 {
+				fa.a.report(diag.New(arm.Pos, diag.Warning, "zero-thickness",
+					"parallel arm with constant thickness 0 spawns no threads"))
+			} else if v < 0 {
+				fa.a.report(diag.New(arm.Pos, diag.Error, "negative-thickness",
+					"parallel arm thickness is the constant %d; the machine rejects negative thickness", v))
+			}
+		}
+	}
+	d := fa.a.opts.Discipline
+	if !d.Checks() {
+		return
+	}
+	// Constant-address conflict check between sibling arms.
+	type armAcc struct {
+		arm  int
+		addr int64
+		acc  access
+	}
+	var all []armAcc
+	for i := range p.Arms {
+		for _, acc := range fa.constAddrAccesses(p.Arms[i].Body) {
+			lo, hi := acc.addrRange()
+			if hi != lo+1 || acc.idx.kind != idxCommon || !acc.idx.valKnown {
+				continue
+			}
+			all = append(all, armAcc{arm: i, addr: lo, acc: acc})
+		}
+	}
+	seen := map[string]bool{}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			a, b := all[i], all[j]
+			if a.arm == b.arm || a.addr != b.addr {
+				continue
+			}
+			var check string
+			switch {
+			case a.acc.write && b.acc.write:
+				check = "concurrent-write"
+			case a.acc.write || b.acc.write:
+				check = "read-write-overlap"
+			case d == mem.DisciplineEREW:
+				check = "concurrent-read"
+			default:
+				continue
+			}
+			key := fmt.Sprintf("%d:%d:%s", a.addr, b.arm, check)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			dg := fa.a.report(diag.New(b.acc.pos, diag.Warning, check,
+				"parallel arms may %s %s (word %d) in the same step under %s: "+
+					"sibling arm access at %s",
+				pairVerb(a.acc.write, b.acc.write), b.acc.sym.Name, a.addr,
+				d, a.acc.pos))
+			dg.Addr, dg.AddrEnd = a.addr, a.addr+1
+		}
+	}
+}
+
+func pairVerb(w1, w2 bool) string {
+	switch {
+	case w1 && w2:
+		return "both write"
+	case w1 || w2:
+		return "read and write"
+	}
+	return "both read"
+}
+
+// constAddrAccesses collects every access in an arm body whose address is a
+// compile-time constant (flow-common known index or scalar variable).
+func (fa *funcAnalysis) constAddrAccesses(body lang.Stmt) []access {
+	var out []access
+	add := func(a access) { out = append(out, a) }
+	lang.Inspect(body, func(n any) bool {
+		if s, ok := n.(lang.Stmt); ok {
+			switch s.(type) {
+			case *lang.VarDecl, *lang.AssignStmt, *lang.ExprStmt,
+				*lang.ThickStmt, *lang.NumaStmt, *lang.ReturnStmt:
+				for _, acc := range fa.stmtAccesses(s) {
+					add(acc)
+				}
+				return false // stmtAccesses covered the subtree
+			}
+			return true
+		}
+		if e, ok := n.(lang.Expr); ok {
+			// Trailing expressions of control statements (conditions,
+			// subjects, nested arm thicknesses) reach here directly.
+			fa.exprAccesses(e, add)
+			return false
+		}
+		return true
+	})
+	return out
+}

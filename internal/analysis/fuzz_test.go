@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tcfpram/internal/mem"
+)
+
+// FuzzAnalyze throws arbitrary source at the full analyzer pipeline
+// (parse → sema → CFG → dataflow → checks) under both restrictive
+// disciplines. The only contract is totality: any input, however
+// malformed, must come back as diagnostics, never a panic.
+func FuzzAnalyze(f *testing.F) {
+	seeds := []string{
+		"",
+		"func main() { }",
+		"func main() { #8; thick int v = tid; print(radd(v)); }",
+		"shared int a[4] @ 10 = {1, -2};\nfunc main() { a[0] += 1; }",
+		"func main() { parallel { #2: halt; #2: barrier; } }",
+		"func main() { switch (1) { case 1: halt; default: barrier; } }",
+		"func main() { for (int i = 0; i < 3; i += 1) { if (i) { break; } } }",
+		"func f(a, b) { return a / b; }\nfunc main() { print(f(6, 2)); }",
+		"func main() { numa 2 { int x = 1; print(x); } }",
+		"shared int a[8] @ 100;\nfunc main() { #8; a[tid % 4] = tid; }",
+		"func main() { #0; print(1); halt; print(2); }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	for _, dir := range []string{"golden", "violations"} {
+		paths, err := filepath.Glob(filepath.Join("testdata", dir, "*.te"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, p := range paths {
+			src, err := os.ReadFile(p)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(src))
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		for _, d := range []mem.Discipline{mem.DisciplineEREW, mem.DisciplineCREW} {
+			_ = AnalyzeSource("fuzz.te", src, Options{Discipline: d})
+		}
+	})
+}

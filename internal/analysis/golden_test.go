@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tcfpram/internal/diag"
+	"tcfpram/internal/mem"
+	"tcfpram/internal/variant"
+)
+
+var update = flag.Bool("update", false, "rewrite the expected .golden files")
+
+// TestGolden renders the analyzer's findings for every testdata/golden
+// program and compares them byte for byte against the checked-in .golden
+// file next to it. Each program selects its analysis options with a
+// first-line directive:
+//
+//	// golden: discipline=<off|erew|crew|crcw> [variant=<name>]
+//
+// After an intentional diagnostic change, regenerate with
+//
+//	go test ./internal/analysis -run TestGolden -update
+func TestGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "golden", "*.te"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no golden programs in testdata/golden")
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts, err := goldenOptions(string(src))
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			// Base name only, so goldens are stable across working dirs.
+			got := diag.Render(AnalyzeSource(filepath.Base(path), string(src), opts))
+			goldenPath := path + ".golden"
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings differ from %s\n--- got ---\n%s--- want ---\n%s",
+					goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// goldenOptions parses the program's first-line // golden: directive.
+func goldenOptions(src string) (Options, error) {
+	line, _, _ := strings.Cut(src, "\n")
+	rest, ok := strings.CutPrefix(strings.TrimSpace(line), "// golden:")
+	if !ok {
+		return Options{}, fmt.Errorf("first line is not a // golden: directive: %q", line)
+	}
+	var opts Options
+	for _, field := range strings.Fields(rest) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Options{}, fmt.Errorf("bad directive field %q", field)
+		}
+		switch key {
+		case "discipline":
+			d, err := mem.ParseDiscipline(val)
+			if err != nil {
+				return Options{}, err
+			}
+			opts.Discipline = d
+		case "variant":
+			k, err := variant.ParseKind(val)
+			if err != nil {
+				return Options{}, err
+			}
+			opts.Variant = k
+		default:
+			return Options{}, fmt.Errorf("unknown directive key %q", key)
+		}
+	}
+	return opts, nil
+}

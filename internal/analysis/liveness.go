@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"tcfpram/internal/diag"
+	"tcfpram/internal/lang"
+	"tcfpram/internal/sema"
+)
+
+// stmtDef returns the register symbol a leaf statement defines, if any, and
+// whether the definition is a plain `=` assignment (the only kind reported
+// as a dead store; declarations and compound assignments are exempt).
+func (fa *funcAnalysis) stmtDef(s lang.Stmt) (sym *sema.Sym, plain bool) {
+	switch s := s.(type) {
+	case *lang.VarDecl:
+		sym := fa.a.info.Syms[s]
+		if sym != nil && sym.Space == lang.SpaceReg {
+			return sym, false
+		}
+	case *lang.AssignStmt:
+		if id, ok := s.LHS.(*lang.Ident); ok {
+			sym := fa.a.info.Syms[id]
+			if sym != nil && sym.Space == lang.SpaceReg {
+				return sym, s.Op == lang.TokAssign
+			}
+		}
+	}
+	return nil, false
+}
+
+// forEachUse calls f for every register symbol a leaf statement reads. The
+// left-hand side of a plain `=` assignment is not a use; a compound
+// assignment's LHS is (old value is loaded), and an indexed LHS uses the
+// symbols in its index expression.
+func (fa *funcAnalysis) forEachUse(s lang.Stmt, f func(*sema.Sym)) {
+	use := func(n any) { fa.exprUses(n, f) }
+	switch s := s.(type) {
+	case *lang.VarDecl:
+		use(s.InitExpr)
+	case *lang.AssignStmt:
+		use(s.RHS)
+		switch lhs := s.LHS.(type) {
+		case *lang.Ident:
+			if s.Op != lang.TokAssign {
+				if sym := fa.a.info.Syms[lhs]; sym != nil && sym.Space == lang.SpaceReg {
+					f(sym)
+				}
+			}
+		case *lang.Index:
+			use(lhs.Idx)
+			if s.Op != lang.TokAssign {
+				// Memory LHS: old value comes from memory, not a register,
+				// but the index is evaluated (already handled above).
+				_ = lhs
+			}
+		}
+	case *lang.ExprStmt:
+		use(s.X)
+	case *lang.ThickStmt:
+		use(s.X)
+	case *lang.NumaStmt:
+		use(s.X)
+	case *lang.ReturnStmt:
+		use(s.X)
+	}
+}
+
+// exprUses calls f for every register symbol read inside an expression.
+func (fa *funcAnalysis) exprUses(n any, f func(*sema.Sym)) {
+	if n == nil {
+		return
+	}
+	e, ok := n.(lang.Expr)
+	if !ok || e == nil {
+		return
+	}
+	lang.Inspect(e, func(n any) bool {
+		if id, ok := n.(*lang.Ident); ok {
+			if sym := fa.a.info.Syms[id]; sym != nil && sym.Space == lang.SpaceReg {
+				f(sym)
+			}
+		}
+		return true
+	})
+}
+
+// liveness runs a backward fixpoint computing, for each block, the set of
+// register symbols live at block exit; then reports dead stores: plain `=`
+// assignments to registers whose value is never read afterwards.
+func (fa *funcAnalysis) liveness() {
+	out := make(map[*cfgBlock]map[*sema.Sym]bool, len(fa.g.blocks))
+	for _, bl := range fa.g.blocks {
+		out[bl] = map[*sema.Sym]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := len(fa.g.blocks) - 1; i >= 0; i-- {
+			bl := fa.g.blocks[i]
+			in := fa.blockLiveIn(bl, out[bl], nil)
+			for _, pred := range bl.preds {
+				po := out[pred]
+				for sym := range in {
+					if !po[sym] {
+						po[sym] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Reporting pass: replay each reachable block backward and flag plain
+	// stores into dead registers.
+	for _, bl := range fa.g.blocks {
+		if !bl.reachable {
+			continue
+		}
+		fa.blockLiveIn(bl, out[bl], func(s *lang.AssignStmt, sym *sema.Sym) {
+			// A store whose right-hand side calls a function still has
+			// effects; only the binding is dead, which is too noisy to flag.
+			hasCall := false
+			lang.Inspect(s.RHS, func(n any) bool {
+				if _, ok := n.(*lang.Call); ok {
+					hasCall = true
+				}
+				return true
+			})
+			if hasCall {
+				return
+			}
+			fa.a.report(diag.New(s.Pos, diag.Warning, "dead-store",
+				"value assigned to %s is never used", sym.Name))
+		})
+	}
+}
+
+// blockLiveIn computes the live-in set of a block from its live-out set,
+// optionally reporting dead plain stores through deadf.
+func (fa *funcAnalysis) blockLiveIn(bl *cfgBlock, liveOut map[*sema.Sym]bool,
+	deadf func(*lang.AssignStmt, *sema.Sym)) map[*sema.Sym]bool {
+	live := make(map[*sema.Sym]bool, len(liveOut))
+	for sym := range liveOut {
+		live[sym] = true
+	}
+	for i := len(bl.exprs) - 1; i >= 0; i-- {
+		fa.exprUses(bl.exprs[i], func(sym *sema.Sym) { live[sym] = true })
+	}
+	for i := len(bl.stmts) - 1; i >= 0; i-- {
+		s := bl.stmts[i]
+		sym, plain := fa.stmtDef(s)
+		if sym != nil {
+			if plain && !live[sym] && deadf != nil {
+				deadf(s.(*lang.AssignStmt), sym)
+			}
+			if plain || isDecl(s) {
+				delete(live, sym)
+			}
+		}
+		fa.forEachUse(s, func(sym *sema.Sym) { live[sym] = true })
+	}
+	return live
+}
+
+func isDecl(s lang.Stmt) bool {
+	_, ok := s.(*lang.VarDecl)
+	return ok
+}
+
+// reportUnreachable flags statements in blocks the CFG cannot reach: code
+// after halt/return/break/continue and branches behind constant conditions.
+// Only the first statement of each unreachable region is reported.
+func (fa *funcAnalysis) reportUnreachable() {
+	reported := map[*cfgBlock]bool{}
+	for _, bl := range fa.g.blocks {
+		// Blocks are in creation (≈ source) order, so the first
+		// statement-bearing block of a region is seen before the blocks
+		// markRegion suppresses. Empty blocks carry nothing to point at.
+		if bl.reachable || reported[bl] || len(bl.stmts) == 0 {
+			continue
+		}
+		fa.reportUnreachableAt(bl)
+		markRegion(bl, reported)
+	}
+}
+
+func (fa *funcAnalysis) reportUnreachableAt(bl *cfgBlock) {
+	fa.a.report(diag.New(bl.stmts[0].GetPos(), diag.Warning, "unreachable-code", "unreachable code"))
+}
+
+// markRegion suppresses duplicate reports for blocks downstream of an
+// already-reported unreachable region.
+func markRegion(root *cfgBlock, reported map[*cfgBlock]bool) {
+	work := []*cfgBlock{root}
+	reported[root] = true
+	for len(work) > 0 {
+		bl := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range bl.succs {
+			if !s.reachable && !reported[s] {
+				reported[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"tcfpram/internal/lang"
+)
+
+// thick is the thickness-analysis lattice value: either a known constant
+// thread count or unknown.
+type thick struct {
+	known bool
+	n     int64
+}
+
+func joinThick(a, b thick) thick {
+	if a.known && b.known && a.n == b.n {
+		return a
+	}
+	return thick{}
+}
+
+// thickState distinguishes "not yet reached" (seen == false) from a real
+// lattice value, so the first propagation into a block just adopts it.
+type thickState struct {
+	seen bool
+	t    thick
+}
+
+func (s thickState) join(t thick) thickState {
+	if !s.seen {
+		return thickState{seen: true, t: t}
+	}
+	return thickState{seen: true, t: joinThick(s.t, t)}
+}
+
+// thicknessDataflow runs a forward fixpoint over the CFG computing the
+// thickness at entry to every block. Thickness changes at `thickness N;`
+// statements, `numa` statements (thickness 1 per bunch flow) and on entry
+// to parallel arms (the arm's declared thickness).
+func (fa *funcAnalysis) thicknessDataflow() {
+	fa.thickIn = make(map[*cfgBlock]thickState, len(fa.g.blocks))
+	fa.thickIn[fa.g.entry] = thickState{seen: true, t: fa.entry}
+
+	work := []*cfgBlock{fa.g.entry}
+	inWork := map[*cfgBlock]bool{fa.g.entry: true}
+	for len(work) > 0 {
+		bl := work[0]
+		work = work[1:]
+		inWork[bl] = false
+
+		out := fa.blockOutThick(bl)
+		for _, succ := range bl.succs {
+			in := out
+			if succ.arm != nil {
+				in = fa.armThick(succ.arm)
+			}
+			old := fa.thickIn[succ]
+			next := old.join(in)
+			if next != old {
+				fa.thickIn[succ] = next
+				if !inWork[succ] {
+					work = append(work, succ)
+					inWork[succ] = true
+				}
+			}
+		}
+	}
+}
+
+// armThick evaluates a parallel arm's declared thickness.
+func (fa *funcAnalysis) armThick(arm *lang.ParArm) thick {
+	if v, ok := fa.fold(arm.Thick); ok {
+		return thick{known: true, n: v}
+	}
+	return thick{}
+}
+
+// blockOutThick replays a block's statements over its entry thickness.
+func (fa *funcAnalysis) blockOutThick(bl *cfgBlock) thick {
+	t := fa.thickIn[bl].t
+	for _, s := range bl.stmts {
+		t = transferThick(fa, s, t)
+	}
+	return t
+}
+
+func transferThick(fa *funcAnalysis, s lang.Stmt, t thick) thick {
+	switch s := s.(type) {
+	case *lang.ThickStmt:
+		if v, ok := fa.fold(s.X); ok {
+			return thick{known: true, n: v}
+		}
+		return thick{}
+	case *lang.NumaStmt:
+		// NUMA execution turns the flow into single-thread bunches.
+		return thick{known: true, n: 1}
+	}
+	return t
+}

@@ -1,0 +1,130 @@
+// Package diag defines the position-carrying diagnostics shared by the
+// tcf-e front end, the sema checker and the tcfvet static analyzer. One
+// stable rendering — "file:line:col: severity: message [check]" — is used
+// by CLI output, golden tests and checked-in expected-findings files, so
+// every producer of findings agrees on the format byte for byte.
+package diag
+
+import (
+	"cmp"
+	"fmt"
+	"strings"
+
+	"tcfpram/internal/lang"
+)
+
+// Severity grades a finding.
+type Severity int
+
+const (
+	// Info findings are advisory notes that never affect exit status.
+	Info Severity = iota
+	// Warning findings are suspicious but possibly intentional (dead
+	// stores, zero-thickness regions, overlapping placements).
+	Warning
+	// Error findings are model violations under the selected discipline
+	// (concurrent-access conflicts, out-of-bounds constant indexing).
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("Severity(%d)", int(s))
+}
+
+// Diagnostic is one position-carrying finding.
+type Diagnostic struct {
+	File     string
+	Pos      lang.Pos
+	Severity Severity
+	// Check is the kebab-case identifier of the analyzer check that
+	// produced the finding (e.g. "concurrent-write", "dead-store").
+	Check string
+	Msg   string
+
+	// Addr and AddrEnd carry shared-memory address provenance for
+	// memory-discipline findings: the conflict happens inside the word
+	// range [Addr, AddrEnd). Addr is -1 when the analyzer cannot bound
+	// the conflicting addresses.
+	Addr, AddrEnd int64
+}
+
+// New builds a diagnostic with no address provenance.
+func New(pos lang.Pos, sev Severity, check, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos: pos, Severity: sev, Check: check,
+		Msg:  fmt.Sprintf(format, args...),
+		Addr: -1, AddrEnd: -1,
+	}
+}
+
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	if d.File != "" {
+		b.WriteString(d.File)
+		b.WriteByte(':')
+	}
+	fmt.Fprintf(&b, "%s: %s: %s [%s]", d.Pos, d.Severity, d.Msg, d.Check)
+	return b.String()
+}
+
+// Compare orders diagnostics for stable rendering: by file, position,
+// check id, then message.
+func Compare(a, b Diagnostic) int {
+	if c := cmp.Compare(a.File, b.File); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.Pos.Line, b.Pos.Line); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.Pos.Col, b.Pos.Col); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.Check, b.Check); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Msg, b.Msg)
+}
+
+// Render formats diagnostics one per line in Compare order. The input
+// slice is not modified; an empty input renders as the empty string.
+func Render(ds []Diagnostic) string {
+	sorted := append([]Diagnostic(nil), ds...)
+	sortDiags(sorted)
+	var b strings.Builder
+	for _, d := range sorted {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sortDiags(ds []Diagnostic) {
+	// Insertion sort: diagnostic lists are short and this keeps the
+	// package dependency-free beyond lang.
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && Compare(ds[j-1], ds[j]) > 0; j-- {
+			ds[j-1], ds[j] = ds[j], ds[j-1]
+		}
+	}
+}
+
+// Sort orders ds in place by Compare.
+func Sort(ds []Diagnostic) { sortDiags(ds) }
+
+// HasErrors reports whether any finding has Error severity.
+func HasErrors(ds []Diagnostic) bool {
+	for _, d := range ds {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}

@@ -28,8 +28,22 @@ type lexer struct {
 	line, col int
 }
 
+// Error is a positioned lex/parse diagnostic. The rendered form is
+// "lang: line:col: message" so existing substring matches keep working;
+// tooling (tcfvet) unwraps it with errors.As to recover the position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("lang: %s: %s", e.Pos, e.Msg) }
+
+func posErrf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
 func (l *lexer) errf(format string, args ...any) error {
-	return fmt.Errorf("lang: %d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+	return posErrf(Pos{Line: l.line, Col: l.col}, format, args...)
 }
 
 func (l *lexer) peek() byte {
@@ -83,7 +97,7 @@ func (l *lexer) skipSpaceAndComments() error {
 				l.advance()
 			}
 			if !closed {
-				return fmt.Errorf("lang: %s: unterminated block comment", start)
+				return posErrf(start, "unterminated block comment")
 			}
 		default:
 			return nil
@@ -127,7 +141,7 @@ func (l *lexer) next() (Token, error) {
 		text := l.src[start:l.off]
 		v, err := strconv.ParseInt(text, 0, 64)
 		if err != nil {
-			return Token{}, fmt.Errorf("lang: %s: bad integer literal %q", pos, text)
+			return Token{}, posErrf(pos, "bad integer literal %q", text)
 		}
 		return Token{Kind: TokInt, Pos: pos, Text: text, Int: v}, nil
 	case c == '"':
@@ -135,7 +149,7 @@ func (l *lexer) next() (Token, error) {
 		var b strings.Builder
 		for {
 			if l.off >= len(l.src) {
-				return Token{}, fmt.Errorf("lang: %s: unterminated string", pos)
+				return Token{}, posErrf(pos, "unterminated string")
 			}
 			ch := l.advance()
 			if ch == '"' {
@@ -143,7 +157,7 @@ func (l *lexer) next() (Token, error) {
 			}
 			if ch == '\\' {
 				if l.off >= len(l.src) {
-					return Token{}, fmt.Errorf("lang: %s: unterminated escape", pos)
+					return Token{}, posErrf(pos, "unterminated escape")
 				}
 				esc := l.advance()
 				switch esc {
@@ -154,7 +168,7 @@ func (l *lexer) next() (Token, error) {
 				case '\\', '"':
 					b.WriteByte(esc)
 				default:
-					return Token{}, fmt.Errorf("lang: %s: unknown escape \\%c", pos, esc)
+					return Token{}, posErrf(pos, "unknown escape \\%c", esc)
 				}
 				continue
 			}

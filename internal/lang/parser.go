@@ -1,6 +1,6 @@
 package lang
 
-import "fmt"
+
 
 // Parse builds the AST of a tcf-e compilation unit.
 func Parse(src string) (*Program, error) {
@@ -63,7 +63,7 @@ func (p *parser) expect(k TokKind) (Token, error) {
 }
 
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("lang: %s: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+	return posErrf(p.cur().Pos, format, args...)
 }
 
 // varDecl parses
@@ -99,7 +99,7 @@ func (p *parser) varDecl(topLevel bool) (*VarDecl, error) {
 			return nil, err
 		}
 		if n.Int <= 0 {
-			return nil, fmt.Errorf("lang: %s: array %s needs positive length", n.Pos, d.Name)
+			return nil, posErrf(n.Pos, "array %s needs positive length", d.Name)
 		}
 		d.ArrayLen = int(n.Int)
 		if _, err := p.expect(TokRBracket); err != nil {
@@ -282,7 +282,7 @@ func (p *parser) simpleStmt() (Stmt, error) {
 		switch e.(type) {
 		case *Ident, *Index:
 		default:
-			return nil, fmt.Errorf("lang: %s: assignment target must be a variable or array element", pos)
+			return nil, posErrf(pos, "assignment target must be a variable or array element")
 		}
 		rhs, err := p.expr()
 		if err != nil {
@@ -448,7 +448,7 @@ func (p *parser) switchStmt() (Stmt, error) {
 		return nil, err
 	}
 	if len(s.Cases) == 0 {
-		return nil, fmt.Errorf("lang: %s: switch needs at least one case", pos)
+		return nil, posErrf(pos, "switch needs at least one case")
 	}
 	return s, nil
 }
@@ -481,7 +481,7 @@ func (p *parser) parallelStmt() (Stmt, error) {
 		return nil, err
 	}
 	if len(s.Arms) == 0 {
-		return nil, fmt.Errorf("lang: %s: parallel statement needs at least one arm", pos)
+		return nil, posErrf(pos, "parallel statement needs at least one arm")
 	}
 	return s, nil
 }

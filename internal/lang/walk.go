@@ -1,0 +1,173 @@
+package lang
+
+// Inspect traverses the AST rooted at n in depth-first source order,
+// calling f for every node (statements, expressions, parallel arms and
+// switch cases). If f returns false for a node, its children are not
+// visited. n may be a *Program, *FuncDecl, Stmt or Expr; nil nodes are
+// skipped.
+func Inspect(n any, f func(any) bool) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *Program:
+		if n == nil || !f(n) {
+			return
+		}
+		for _, g := range n.Globals {
+			Inspect(g, f)
+		}
+		for _, fn := range n.Funcs {
+			Inspect(fn, f)
+		}
+	case *FuncDecl:
+		if n == nil || !f(n) {
+			return
+		}
+		Inspect(n.Body, f)
+	case Stmt:
+		inspectStmt(n, f)
+	case Expr:
+		inspectExpr(n, f)
+	}
+}
+
+func inspectStmt(s Stmt, f func(any) bool) {
+	if s == nil {
+		return
+	}
+	switch s := s.(type) {
+	case *VarDecl:
+		if s == nil || !f(s) {
+			return
+		}
+		inspectExpr(s.InitExpr, f)
+	case *AssignStmt:
+		if s == nil || !f(s) {
+			return
+		}
+		inspectExpr(s.LHS, f)
+		inspectExpr(s.RHS, f)
+	case *ExprStmt:
+		if s == nil || !f(s) {
+			return
+		}
+		inspectExpr(s.X, f)
+	case *IfStmt:
+		if s == nil || !f(s) {
+			return
+		}
+		inspectExpr(s.Cond, f)
+		inspectStmt(s.Then, f)
+		inspectStmt(s.Else, f)
+	case *WhileStmt:
+		if s == nil || !f(s) {
+			return
+		}
+		inspectExpr(s.Cond, f)
+		inspectStmt(s.Body, f)
+	case *ForStmt:
+		if s == nil || !f(s) {
+			return
+		}
+		inspectStmt(s.Init, f)
+		inspectExpr(s.Cond, f)
+		inspectStmt(s.Post, f)
+		inspectStmt(s.Body, f)
+	case *BlockStmt:
+		if s == nil || !f(s) {
+			return
+		}
+		for _, sub := range s.Stmts {
+			inspectStmt(sub, f)
+		}
+	case *ParallelStmt:
+		if s == nil || !f(s) {
+			return
+		}
+		for i := range s.Arms {
+			arm := &s.Arms[i]
+			if !f(arm) {
+				continue
+			}
+			inspectExpr(arm.Thick, f)
+			inspectStmt(arm.Body, f)
+		}
+	case *ThickStmt:
+		if s == nil || !f(s) {
+			return
+		}
+		inspectExpr(s.X, f)
+	case *NumaStmt:
+		if s == nil || !f(s) {
+			return
+		}
+		inspectExpr(s.X, f)
+	case *SwitchStmt:
+		if s == nil || !f(s) {
+			return
+		}
+		inspectExpr(s.Subject, f)
+		for i := range s.Cases {
+			cs := &s.Cases[i]
+			if !f(cs) {
+				continue
+			}
+			for _, v := range cs.Values {
+				inspectExpr(v, f)
+			}
+			for _, sub := range cs.Body {
+				inspectStmt(sub, f)
+			}
+		}
+	case *ReturnStmt:
+		if s == nil || !f(s) {
+			return
+		}
+		inspectExpr(s.X, f)
+	case *BarrierStmt, *HaltStmt, *BreakStmt, *ContinueStmt:
+		f(s)
+	default:
+		f(s)
+	}
+}
+
+func inspectExpr(e Expr, f func(any) bool) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *IntLit, *Ident, *StrLit:
+		f(e)
+	case *Unary:
+		if e == nil || !f(e) {
+			return
+		}
+		inspectExpr(e.X, f)
+	case *Binary:
+		if e == nil || !f(e) {
+			return
+		}
+		inspectExpr(e.X, f)
+		inspectExpr(e.Y, f)
+	case *Index:
+		if e == nil || !f(e) {
+			return
+		}
+		inspectExpr(e.Idx, f)
+	case *AddrOf:
+		if e == nil || !f(e) {
+			return
+		}
+		inspectExpr(e.Idx, f)
+	case *Call:
+		if e == nil || !f(e) {
+			return
+		}
+		for _, a := range e.Args {
+			inspectExpr(a, f)
+		}
+	default:
+		f(e)
+	}
+}

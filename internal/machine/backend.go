@@ -49,6 +49,7 @@ func (bk *backend) merge() (int64, error) {
 	m.stepOutputs = m.stepOutputs[:0]
 	m.stepEvents = m.stepEvents[:0]
 	m.routes = m.routes[:0]
+	m.discAccs = m.discAccs[:0]
 	var stepCycles int64
 	for _, x := range m.execs {
 		if x.err != nil {
@@ -69,6 +70,7 @@ func (bk *backend) merge() (int64, error) {
 		}
 		m.stepOutputs = append(m.stepOutputs, x.outputs...)
 		m.stepEvents = append(m.stepEvents, x.events...)
+		m.discAccs = append(m.discAccs, x.accs...)
 
 		opsCycles := x.ops + x.scalarOps
 		var overhead int64

@@ -87,6 +87,17 @@ type Config struct {
 	// ErrDeadlock instead of silently spinning to MaxSteps. 0 disables.
 	WatchdogSteps int64
 
+	// MemDiscipline enables the runtime memory-discipline cross-checker:
+	// under EREW or CREW every shared read/write of a lockstep step is
+	// recorded and the per-address access sets are audited at the step
+	// boundary, before commit. A same-step conflict on one word between two
+	// distinct (flow, lane) threads stops the run with an error wrapping
+	// ErrDisciplineViolation that carries step/PC/address provenance
+	// (errors.As against *DisciplineViolation). Off and CRCW record nothing
+	// and cost nothing; the checker applies to lockstep plans only —
+	// immediate XMT-style semantics serialize memory within the step.
+	MemDiscipline mem.Discipline
+
 	// FaultPlan injects deterministic faults (reference loss with
 	// retransmission stalls, group→module route detours, memory-module
 	// fail-stop with spare failover). Faults change cycle counts only;

@@ -1,0 +1,96 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"tcfpram/internal/mem"
+)
+
+// TestCheckAddrRun covers the pair-finding core on hand-built runs (already
+// in the sorted writes-first order checkDiscipline establishes).
+func TestCheckAddrRun(t *testing.T) {
+	acc := func(flow, lane int, write bool) discAcc {
+		return discAcc{addr: 7, flow: flow, lane: lane, pc: 3, write: write}
+	}
+	cases := []struct {
+		name     string
+		d        mem.Discipline
+		run      []discAcc
+		wantKind string // "" = no violation
+	}{
+		{"single-access", mem.DisciplineEREW, []discAcc{acc(0, 0, true)}, ""},
+		{"crew-all-reads", mem.DisciplineCREW,
+			[]discAcc{acc(0, 0, false), acc(0, 1, false), acc(1, 0, false)}, ""},
+		{"erew-two-reads", mem.DisciplineEREW,
+			[]discAcc{acc(0, 0, false), acc(0, 1, false)}, "read-read"},
+		{"two-writes", mem.DisciplineCREW,
+			[]discAcc{acc(0, 0, true), acc(0, 1, true)}, "write-write"},
+		{"write-then-read", mem.DisciplineCREW,
+			[]discAcc{acc(0, 0, true), acc(1, 0, false)}, "read-write"},
+		{"same-thread-write-read", mem.DisciplineEREW,
+			[]discAcc{acc(2, 3, true), acc(2, 3, false)}, ""},
+		{"same-thread-then-other", mem.DisciplineCREW,
+			[]discAcc{acc(2, 3, true), acc(2, 3, false), acc(2, 4, false)}, "read-write"},
+		{"same-lane-other-flow", mem.DisciplineCREW,
+			[]discAcc{acc(0, 1, true), acc(1, 1, true)}, "write-write"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := checkAddrRun(tc.d, tc.run)
+			if tc.wantKind == "" {
+				if v != nil {
+					t.Fatalf("unexpected violation: %v", v)
+				}
+				return
+			}
+			if v == nil {
+				t.Fatalf("want %s violation, got none", tc.wantKind)
+			}
+			if v.Kind != tc.wantKind {
+				t.Fatalf("kind = %q, want %q", v.Kind, tc.wantKind)
+			}
+			if v.Addr != 7 {
+				t.Fatalf("addr = %d, want 7", v.Addr)
+			}
+			if v.First.Flow == v.Second.Flow && v.First.Lane == v.Second.Lane {
+				t.Fatalf("violation pairs a thread with itself: %v", v)
+			}
+		})
+	}
+}
+
+// TestCheckDisciplineOrdering feeds a shuffled arena and checks that the
+// reported pair is the deterministic lowest-address, writes-first one.
+func TestCheckDisciplineOrdering(t *testing.T) {
+	m := &Machine{cfg: Config{MemDiscipline: mem.DisciplineCREW}}
+	m.discAccs = []discAcc{
+		{addr: 50, flow: 3, lane: 1, pc: 9, write: true}, // conflict at 50...
+		{addr: 9, flow: 0, lane: 0, pc: 2, write: false}, // lone read, fine
+		{addr: 50, flow: 1, lane: 0, pc: 9, write: true}, // ...with this write
+		{addr: 12, flow: 2, lane: 0, pc: 4, write: true}, // lone write, fine
+	}
+	v := m.checkDiscipline()
+	if v == nil {
+		t.Fatal("want a violation, got none")
+	}
+	if v.Addr != 50 || v.Kind != "write-write" {
+		t.Fatalf("got %v, want write-write at address 50", v)
+	}
+	// Sorted order puts flow 1 before flow 3.
+	if v.First.Flow != 1 || v.Second.Flow != 3 {
+		t.Fatalf("pair order = flow %d vs flow %d, want 1 vs 3", v.First.Flow, v.Second.Flow)
+	}
+	if !errors.Is(v, ErrDisciplineViolation) {
+		t.Fatalf("violation does not wrap ErrDisciplineViolation: %v", v)
+	}
+}
+
+// TestCheckDisciplineEmpty is the hot-path guard: no recorded accesses means
+// no work and no violation.
+func TestCheckDisciplineEmpty(t *testing.T) {
+	m := &Machine{cfg: Config{MemDiscipline: mem.DisciplineEREW}}
+	if v := m.checkDiscipline(); v != nil {
+		t.Fatalf("empty arena produced %v", v)
+	}
+}

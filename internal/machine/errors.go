@@ -16,4 +16,9 @@ var (
 	// ErrFaultUnrecoverable: the fault plan exceeded what the recovery
 	// machinery can mask (retries exhausted, or no spare module remains).
 	ErrFaultUnrecoverable = errors.New("unrecoverable fault")
+	// ErrDisciplineViolation: the memory-discipline cross-checker
+	// (Config.MemDiscipline) observed a same-step conflict forbidden by the
+	// selected PRAM model. errors.As against *DisciplineViolation recovers
+	// the step, address and both accesses.
+	ErrDisciplineViolation = errors.New("memory discipline violation")
 )

@@ -26,6 +26,11 @@ type StepRecord struct {
 	GroupCycles []int64
 	Slices      []SliceExec
 	Stages      [NumStages]StageStats
+	// DiscReads/DiscWrites are the step's accesses recorded by the
+	// memory-discipline cross-checker (zero when Config.MemDiscipline is
+	// off).
+	DiscReads  int64
+	DiscWrites int64
 }
 
 // fetch reads the instruction at f.PC, counting the fetch; a PC past the end

@@ -55,6 +55,7 @@ type Machine struct {
 	stepOutputs []Output
 	stepEvents  []deferredEvent
 	routes      []prefixRoute
+	discAccs    []discAcc // step's recorded accesses (Config.MemDiscipline)
 	wg          sync.WaitGroup
 
 	stats  Stats

@@ -250,6 +250,12 @@ type groupExec struct {
 	outputs  []Output
 	slices   []SliceExec
 
+	// disc caches "the memory-discipline cross-checker records this step"
+	// (Config.MemDiscipline checks and the plan is lockstep); accs is the
+	// group's reused recording arena, audited after the merge.
+	disc bool
+	accs []discAcc
+
 	// fwd is the store-to-load forwarding table of the flow currently
 	// executing a NUMA bunch (its own same-step shared stores). The map is
 	// allocated once and cleared per bunch; fwdOn gates lookups.
@@ -282,6 +288,8 @@ func (x *groupExec) reset(plan StepPlan) {
 	x.events = x.events[:0]
 	x.outputs = x.outputs[:0]
 	x.slices = x.slices[:0]
+	x.disc = plan.Lockstep && x.m.cfg.MemDiscipline.Checks()
+	x.accs = x.accs[:0]
 	x.fwdOn = false
 	x.err = nil
 }
@@ -300,6 +308,10 @@ func (x *groupExec) resetLaneWorker(refSeq int64) {
 	x.multiopRefs, x.barriers, x.laneChunks = 0, 0, 0
 	x.writes = x.writes[:0]
 	x.contribs = x.contribs[:0]
+	// Lane workers only exist under lockstep plans (execLanes never fans
+	// out in immediate mode), so the parent's lockstep gate is implied.
+	x.disc = x.m.cfg.MemDiscipline.Checks()
+	x.accs = x.accs[:0]
 	x.fwdOn = false
 	x.err = nil
 }
@@ -310,6 +322,7 @@ func (x *groupExec) resetLaneWorker(refSeq int64) {
 func (x *groupExec) mergeLaneWorker(w *groupExec) {
 	x.writes = append(x.writes, w.writes...)
 	x.contribs = append(x.contribs, w.contribs...)
+	x.accs = append(x.accs, w.accs...)
 	x.ops += w.ops
 	x.sharedReads += w.sharedReads
 	x.sharedWrites += w.sharedWrites
@@ -380,9 +393,14 @@ func (x *groupExec) noteShared(addr int64, numaMode bool) {
 
 // loadShared performs a shared-memory read with the step semantics of the
 // engine (pre-step snapshot, or immediate in XMT mode) plus store-to-load
-// forwarding of the flow's own same-step writes.
-func (x *groupExec) loadShared(f *tcf.Flow, addr int64) int64 {
+// forwarding of the flow's own same-step writes. lane identifies the
+// reading thread for the discipline cross-checker; flow-common broadcast
+// loads pass lane 0 (one flow-level fetch, not per-lane references).
+func (x *groupExec) loadShared(f *tcf.Flow, addr int64, lane int) int64 {
 	x.sharedReads++
+	if x.disc {
+		x.accs = append(x.accs, discAcc{addr: addr, flow: f.ID, lane: lane, pc: f.PC})
+	}
 	x.noteShared(addr, f.Mode == tcf.NUMA)
 	if x.immediate {
 		return x.m.shared.Peek(addr)
@@ -398,6 +416,9 @@ func (x *groupExec) loadShared(f *tcf.Flow, addr int64) int64 {
 // storeShared buffers (or immediately applies) a shared-memory write.
 func (x *groupExec) storeShared(f *tcf.Flow, addr, val int64, lane, seq int) {
 	x.sharedWrites++
+	if x.disc {
+		x.accs = append(x.accs, discAcc{addr: addr, flow: f.ID, lane: lane, pc: f.PC, write: true})
+	}
 	x.noteShared(addr, f.Mode == tcf.NUMA)
 	if x.immediate {
 		x.m.shared.Poke(addr, val)
@@ -464,7 +485,7 @@ func (x *groupExec) execLane(f *tcf.Flow, in isa.Instr, i, seq int) {
 	case in.Op == isa.NGRP:
 		f.SetLane(in.Rd, i, int64(x.m.cfg.Groups))
 	case in.Op == isa.LD:
-		f.SetLane(in.Rd, i, x.loadShared(f, effAddr(f, in, i)))
+		f.SetLane(in.Rd, i, x.loadShared(f, effAddr(f, in, i), i))
 	case in.Op == isa.ST:
 		x.storeShared(f, effAddr(f, in, i), laneVal(f, in.Rb, i), i, seq)
 	case in.Op == isa.LDL:
@@ -590,15 +611,18 @@ func (x *groupExec) execLaneRange(f *tcf.Flow, in isa.Instr, first, n int) {
 		if in.Ra.IsVector() {
 			av := f.Vector(in.Ra)
 			for i := first; i < end; i++ {
-				dst[i] = x.loadShared(f, av[i]+in.Imm)
+				dst[i] = x.loadShared(f, av[i]+in.Imm, i)
 			}
 		} else {
+			// Flow-common broadcast: every lane reads the one word the flow
+			// fetched, so the discipline checker sees a single thread (lane
+			// 0), not per-lane concurrent reads.
 			base := in.Imm
 			if in.Ra != isa.RegNone {
 				base += f.Scalar(in.Ra)
 			}
 			for i := first; i < end; i++ {
-				dst[i] = x.loadShared(f, base)
+				dst[i] = x.loadShared(f, base, 0)
 			}
 		}
 	case in.Op == isa.ST:

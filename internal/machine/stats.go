@@ -18,6 +18,12 @@ type Stats struct {
 	LocalWrites  int64
 	MultiopRefs  int64 // multioperation/multiprefix participations
 
+	// Memory-discipline cross-checker (Config.MemDiscipline): shared
+	// accesses recorded for the step-boundary audit. Zero when the checker
+	// is off.
+	DiscReads  int64
+	DiscWrites int64
+
 	OverheadCycles int64 // pipeline fill + latency cycles (not doing ops)
 	StallCycles    int64 // NUMA remote-reference stalls
 

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"cmp"
+	"fmt"
 	"slices"
 
 	"tcfpram/internal/tcf"
@@ -46,6 +47,28 @@ func (m *Machine) runStep(plan StepPlan) error {
 	if err != nil {
 		return err
 	}
+
+	// Memory-discipline audit (Config.MemDiscipline): the step's recorded
+	// access sets are checked before commit, so a violating step stops the
+	// machine without applying its writes.
+	var discR, discW int64
+	if len(m.discAccs) > 0 {
+		for i := range m.discAccs {
+			if m.discAccs[i].write {
+				discW++
+			} else {
+				discR++
+			}
+		}
+		m.stats.DiscReads += discR
+		m.stats.DiscWrites += discW
+		if v := m.checkDiscipline(); v != nil {
+			v.Step = m.stats.Steps
+			m.runErr = fmt.Errorf("machine: step %d: %w", m.stats.Steps, v)
+			return m.runErr
+		}
+	}
+
 	if err := m.back.commit(); err != nil {
 		return err
 	}
@@ -96,7 +119,8 @@ func (m *Machine) runStep(plan StepPlan) error {
 		}
 		if m.cfg.TraceEnabled {
 			rec := &StepRecord{Step: m.stats.Steps - 1, Cycles: stepCycles,
-				GroupCycles: make([]int64, len(m.groups)), Stages: delta}
+				GroupCycles: make([]int64, len(m.groups)), Stages: delta,
+				DiscReads: discR, DiscWrites: discW}
 			for _, x := range m.execs {
 				rec.GroupCycles[x.g.Index] = x.ops + x.scalarOps + x.stall
 				rec.Slices = append(rec.Slices, x.slices...)

@@ -1,0 +1,61 @@
+package mem
+
+import "fmt"
+
+// Discipline selects the PRAM memory-access discipline the machine (and
+// the tcfvet analyzer) enforces on shared memory within one machine step.
+// The baseline machine is CRCW — concurrent reads and writes are legal and
+// write conflicts resolve through Policy / multioperations — so CRCW
+// checking never fires on write sets the hardware can resolve. EREW and
+// CREW restrict that: CREW forbids two writes (or a write overlapping a
+// read) to the same word in one step; EREW additionally forbids two reads
+// of the same word in one step.
+type Discipline int
+
+const (
+	// DisciplineOff disables checking (the default).
+	DisciplineOff Discipline = iota
+	// DisciplineEREW: exclusive read, exclusive write.
+	DisciplineEREW
+	// DisciplineCREW: concurrent read, exclusive write.
+	DisciplineCREW
+	// DisciplineCRCW: concurrent read, concurrent write — the machine's
+	// native model. Selecting it enables access recording but flags
+	// nothing; it exists so tooling can name the baseline explicitly.
+	DisciplineCRCW
+)
+
+func (d Discipline) String() string {
+	switch d {
+	case DisciplineOff:
+		return "off"
+	case DisciplineEREW:
+		return "erew"
+	case DisciplineCREW:
+		return "crew"
+	case DisciplineCRCW:
+		return "crcw"
+	}
+	return fmt.Sprintf("Discipline(%d)", int(d))
+}
+
+// ParseDiscipline maps a flag value to a Discipline.
+func ParseDiscipline(s string) (Discipline, error) {
+	switch s {
+	case "", "off", "none":
+		return DisciplineOff, nil
+	case "erew":
+		return DisciplineEREW, nil
+	case "crew":
+		return DisciplineCREW, nil
+	case "crcw":
+		return DisciplineCRCW, nil
+	}
+	return DisciplineOff, fmt.Errorf("unknown memory discipline %q (want erew, crew, crcw or off)", s)
+}
+
+// Checks reports whether the discipline actually restricts accesses
+// (EREW or CREW); CRCW records but never flags.
+func (d Discipline) Checks() bool {
+	return d == DisciplineEREW || d == DisciplineCREW
+}

@@ -168,8 +168,18 @@ type checker struct {
 	loopDepth int
 }
 
+// Error is a positioned sema diagnostic. Every error returned by Check is
+// one of these, so tools (tcfvet, golden renderers) can extract the source
+// position with errors.As instead of parsing the message.
+type Error struct {
+	Pos lang.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sema: %s: %s", e.Pos, e.Msg) }
+
 func errf(pos lang.Pos, format string, args ...any) error {
-	return fmt.Errorf("sema: %s: %s", pos, fmt.Sprintf(format, args...))
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (c *checker) globalsPass() error {
@@ -324,7 +334,7 @@ func (c *checker) funcsPass() error {
 		c.info.Funcs[fn.Name] = fi
 	}
 	if _, ok := c.info.Funcs["main"]; !ok {
-		return fmt.Errorf("sema: program has no main function")
+		return errf(lang.Pos{Line: 1, Col: 1}, "program has no main function")
 	}
 	if len(c.info.Funcs["main"].Params) != 0 {
 		return errf(c.info.Funcs["main"].Decl.Pos, "main takes no parameters")
@@ -368,7 +378,7 @@ func (c *checker) recursionPass() error {
 	visit = func(name string) error {
 		switch color[name] {
 		case gray:
-			return fmt.Errorf("sema: recursive call cycle through %s (recursion is not supported: registers are statically allocated)", name)
+			return errf(c.info.Funcs[name].Decl.Pos, "recursive call cycle through %s (recursion is not supported: registers are statically allocated)", name)
 		case black:
 			return nil
 		}

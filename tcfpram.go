@@ -32,10 +32,13 @@ import (
 	"context"
 	"fmt"
 
+	"tcfpram/internal/analysis"
 	"tcfpram/internal/codegen"
+	"tcfpram/internal/diag"
 	"tcfpram/internal/fault"
 	"tcfpram/internal/isa"
 	"tcfpram/internal/machine"
+	"tcfpram/internal/mem"
 	"tcfpram/internal/trace"
 	"tcfpram/internal/variant"
 )
@@ -128,11 +131,72 @@ func RandomFaultPlan(seed int64, groups int) *FaultPlan {
 // The error taxonomy of Run/RunContext. Abnormal stops wrap exactly one of
 // these; dispatch with errors.Is.
 var (
-	ErrDeadlock           = machine.ErrDeadlock
-	ErrMaxSteps           = machine.ErrMaxSteps
-	ErrCanceled           = machine.ErrCanceled
-	ErrFaultUnrecoverable = machine.ErrFaultUnrecoverable
+	ErrDeadlock            = machine.ErrDeadlock
+	ErrMaxSteps            = machine.ErrMaxSteps
+	ErrCanceled            = machine.ErrCanceled
+	ErrFaultUnrecoverable  = machine.ErrFaultUnrecoverable
+	ErrDisciplineViolation = machine.ErrDisciplineViolation
 )
+
+// Discipline selects the PRAM memory discipline checked by the tcfvet
+// static analyzer (Vet) and the runtime cross-checker
+// (Config.MemDiscipline).
+type Discipline = mem.Discipline
+
+// The memory disciplines. Off and CRCW check nothing: arbitrary concurrent
+// reads and writes are the model's native semantics.
+const (
+	DisciplineOff  = mem.DisciplineOff
+	DisciplineEREW = mem.DisciplineEREW
+	DisciplineCREW = mem.DisciplineCREW
+	DisciplineCRCW = mem.DisciplineCRCW
+)
+
+// ParseDiscipline resolves a discipline name ("erew", "crew", "crcw",
+// "off"/"none"/"").
+func ParseDiscipline(s string) (Discipline, error) { return mem.ParseDiscipline(s) }
+
+// DisciplineViolation is the runtime cross-checker's report: the first
+// same-step conflict observed, with step, address and both accesses. Runs
+// stopped by it return an error unwrapping to ErrDisciplineViolation;
+// recover the report with errors.As.
+type DisciplineViolation = machine.DisciplineViolation
+
+// DiscAccess is one side of a DisciplineViolation.
+type DiscAccess = machine.DiscAccess
+
+// Diagnostic is one position-carrying finding of the tcfvet static
+// analyzer.
+type Diagnostic = diag.Diagnostic
+
+// VetOptions configures a Vet run.
+type VetOptions struct {
+	// Discipline is the memory model checked (default CREW; Off and CRCW
+	// run the hygiene checks only).
+	Discipline Discipline
+	// Variant is the execution variant assumed for variant-sensitive
+	// checks. The zero value is the single-instruction TCF variant.
+	Variant Variant
+}
+
+// Vet statically analyzes tcf-e source: memory-discipline conformance
+// under the selected PRAM model plus flow hygiene (unreachable code, dead
+// stores, zero thickness, barriers inside parallel arms, constant
+// out-of-range indices, overlapping @ placements). Parse and sema failures
+// come back as a single diagnostic rather than an error.
+func Vet(name, src string, opts VetOptions) []Diagnostic {
+	return analysis.AnalyzeSource(name, src, analysis.Options{
+		Discipline: opts.Discipline,
+		Variant:    opts.Variant,
+	})
+}
+
+// RenderDiagnostics formats findings one per line, in sorted order, in the
+// "file:line:col: severity: message [check]" form.
+func RenderDiagnostics(ds []Diagnostic) string { return diag.Render(ds) }
+
+// DiagnosticsHaveErrors reports whether any finding has error severity.
+func DiagnosticsHaveErrors(ds []Diagnostic) bool { return diag.HasErrors(ds) }
 
 // Stats are the measured execution statistics.
 type Stats = machine.Stats

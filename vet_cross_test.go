@@ -1,0 +1,155 @@
+package tcfpram_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tcfpram"
+)
+
+// TestVetRuntimeCrossCheck runs every injected-violation program through
+// both halves of the discipline checker and requires them to agree: the
+// tcfvet static analyzer must report the expected check with address
+// provenance, the runtime cross-checker must stop the run with the
+// expected conflict kind, and the runtime conflict address must fall
+// inside the word range the static finding named.
+//
+// Each program declares its expectations in a first-line directive:
+//
+//	// vet: discipline=<erew|crew> static=<check> runtime=<kind>
+func TestVetRuntimeCrossCheck(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("internal", "analysis", "testdata", "violations", "*.te"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 12 {
+		t.Fatalf("violation corpus has %d programs, want at least 12", len(files))
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir, err := parseVetDirective(string(src))
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			disc, err := tcfpram.ParseDiscipline(dir.discipline)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Static half: the expected check must fire with a bounded
+			// address range.
+			ds := tcfpram.Vet(path, string(src), tcfpram.VetOptions{Discipline: disc})
+			var matches []tcfpram.Diagnostic
+			for _, d := range ds {
+				if d.Check == dir.static {
+					matches = append(matches, d)
+				}
+			}
+			if len(matches) == 0 {
+				t.Fatalf("static analyzer did not report %q; findings:\n%s",
+					dir.static, tcfpram.RenderDiagnostics(ds))
+			}
+			for _, d := range matches {
+				if d.Addr < 0 || d.AddrEnd <= d.Addr {
+					t.Fatalf("static %s finding has no address provenance: %+v", dir.static, d)
+				}
+			}
+
+			// Runtime half: the run must stop with the expected conflict.
+			cfg := tcfpram.DefaultConfig(tcfpram.SingleInstruction)
+			cfg.MemDiscipline = disc
+			_, _, runErr := tcfpram.RunSource(cfg, path, string(src))
+			if !errors.Is(runErr, tcfpram.ErrDisciplineViolation) {
+				t.Fatalf("runtime checker did not trip: err=%v", runErr)
+			}
+			var v *tcfpram.DisciplineViolation
+			if !errors.As(runErr, &v) {
+				t.Fatalf("no *DisciplineViolation in %v", runErr)
+			}
+			if v.Kind != dir.runtime {
+				t.Fatalf("runtime conflict kind = %q, want %q (%v)", v.Kind, dir.runtime, v)
+			}
+			if v.First.Flow == v.Second.Flow && v.First.Lane == v.Second.Lane {
+				t.Fatalf("violation pairs one thread with itself: %+v", v)
+			}
+
+			// Cross-check: the runtime address must be inside some static
+			// finding's range.
+			inRange := false
+			for _, d := range matches {
+				if d.Addr <= v.Addr && v.Addr < d.AddrEnd {
+					inRange = true
+					break
+				}
+			}
+			if !inRange {
+				t.Fatalf("runtime conflict at address %d outside every static %s range:\n%s",
+					v.Addr, dir.static, tcfpram.RenderDiagnostics(matches))
+			}
+		})
+	}
+}
+
+// TestDisciplineOffRunsViolationsClean is the control: with the checker off
+// the same programs run to completion (the machine's native semantics allow
+// concurrent access).
+func TestDisciplineOffRunsViolationsClean(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("internal", "analysis", "testdata", "violations", "*.te"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := tcfpram.DefaultConfig(tcfpram.SingleInstruction)
+		if _, _, err := tcfpram.RunSource(cfg, path, string(src)); err != nil {
+			t.Errorf("%s: clean run with discipline off failed: %v", path, err)
+		}
+	}
+}
+
+type vetDirective struct {
+	discipline string
+	static     string
+	runtime    string
+}
+
+func parseVetDirective(src string) (vetDirective, error) {
+	line, _, _ := strings.Cut(src, "\n")
+	rest, ok := strings.CutPrefix(strings.TrimSpace(line), "// vet:")
+	if !ok {
+		return vetDirective{}, fmt.Errorf("first line is not a // vet: directive: %q", line)
+	}
+	var d vetDirective
+	for _, field := range strings.Fields(rest) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return vetDirective{}, fmt.Errorf("bad directive field %q", field)
+		}
+		switch key {
+		case "discipline":
+			d.discipline = val
+		case "static":
+			d.static = val
+		case "runtime":
+			d.runtime = val
+		default:
+			return vetDirective{}, fmt.Errorf("unknown directive key %q", key)
+		}
+	}
+	if d.discipline == "" || d.static == "" || d.runtime == "" {
+		return vetDirective{}, fmt.Errorf("directive missing a key: %+v", d)
+	}
+	return d, nil
+}
