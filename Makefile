@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchall table figures net examples fuzz lint vet clean
+.PHONY: all build test race bench benchall table figures net examples fuzz lint vet serve serve-test clean
 
 # Pinned linter versions, fetched on demand with `go run` so the repo adds
 # no module dependencies. Bump deliberately; CI uses the same pins.
@@ -75,6 +75,15 @@ vet:
 	$(GO) run ./cmd/tcfvet -discipline crew \
 		-expect internal/analysis/testdata/expected_findings.txt \
 		internal/codegen/testdata examples
+
+# serve runs the multi-tenant execution server; serve-test is the CI smoke
+# (race-enabled unit + integration tests incl. SIGTERM drain and
+# goroutine-leak checks).
+serve:
+	$(GO) run ./cmd/tcfserve
+
+serve-test:
+	$(GO) test -race -count=1 ./internal/serve ./cmd/tcfserve ./cmd/tcfrun
 
 clean:
 	rm -f test_output.txt bench_output.txt

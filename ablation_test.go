@@ -106,9 +106,9 @@ func BenchmarkAblation_BalancedBound(b *testing.B) {
 func BenchmarkAblation_Topology(b *testing.B) {
 	w := workload.VectorAdd(workload.StyleTCF, 256, 0, 0)
 	topos := map[string]func(n int) topology.Topology{
-		"ring":    func(n int) topology.Topology { return topology.NewRing(n) },
-		"torus":   func(n int) topology.Topology { return topology.NewTorus2D(n/2, 2) },
-		"uniform": func(n int) topology.Topology { return topology.NewUniform(n, 1) },
+		"ring":    func(n int) topology.Topology { return topology.Must(topology.NewRing(n)) },
+		"torus":   func(n int) topology.Topology { return topology.Must(topology.NewTorus2D(n/2, 2)) },
+		"uniform": func(n int) topology.Topology { return topology.Must(topology.NewUniform(n, 1)) },
 	}
 	for _, name := range []string{"ring", "torus", "uniform"} {
 		mk := topos[name]

@@ -13,10 +13,13 @@
 // -vet statically analyzes a tcf-e program before running it (errors abort
 // the run); -discipline erew|crew enables the runtime memory-discipline
 // cross-checker, stopping the run on same-step conflicts the selected PRAM
-// model forbids.
+// model forbids. -max-steps and -timeout bound runaway programs through the
+// same governance path (SetLimits + RunContext) the tcfserve execution
+// server enforces tenant quotas with.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -49,6 +52,8 @@ func run(args []string, out io.Writer) error {
 	svgPath := fs.String("svg", "", "write the schedule as an SVG file (implies tracing)")
 	vet := fs.Bool("vet", false, "statically analyze tcf-e source before running (error findings abort)")
 	discName := fs.String("discipline", "", "memory discipline checked at runtime (and by -vet): erew|crew|crcw|off")
+	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the run, e.g. 5s (0 = none)")
+	maxSteps := fs.Int64("max-steps", 0, "abort after this many machine steps (0 = default bound)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -153,7 +158,21 @@ func run(args []string, out io.Writer) error {
 	if *showDis {
 		fmt.Fprintln(out, m.Disassembly())
 	}
-	stats, runErr := m.Run()
+	// -max-steps and -timeout route through SetLimits and RunContext — the
+	// same governance path the tcfserve execution server stamps per-tenant
+	// quotas and deadlines through.
+	if *maxSteps > 0 {
+		if err := m.SetLimits(*maxSteps, 0); err != nil {
+			return err
+		}
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	stats, runErr := m.RunContext(ctx)
 	for _, o := range m.Outputs() {
 		fmt.Fprintln(out, o)
 	}

@@ -178,3 +178,41 @@ func TestSVGOutput(t *testing.T) {
 		t.Fatalf("not an svg: %.80s", data)
 	}
 }
+
+// TestGovernanceFlags: -max-steps and -timeout stop runaway programs
+// through the same SetLimits/RunContext path the tcfserve server governs
+// tenants with.
+func TestGovernanceFlags(t *testing.T) {
+	spin := write(t, "spin.te", `
+shared int b[1] @ 900;
+func main() {
+	int n = 0;
+	while (1) {
+		n += 1;
+		b[0] = n;
+	}
+}
+`)
+
+	var out bytes.Buffer
+	err := run([]string{"-max-steps", "100", spin}, &out)
+	if err == nil || !strings.Contains(err.Error(), "max steps exceeded") {
+		t.Fatalf("-max-steps: err = %v", err)
+	}
+
+	out.Reset()
+	err = run([]string{"-timeout", "100ms", spin}, &out)
+	if err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("-timeout: err = %v", err)
+	}
+
+	// Bounds that the program fits under leave it untouched.
+	ok := write(t, "ok.te", "func main() { print(42); }")
+	out.Reset()
+	if err := run([]string{"-max-steps", "100000", "-timeout", "30s", ok}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "[42]") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}

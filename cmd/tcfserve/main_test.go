@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// postJSON sends one /run request and returns the status and decoded body.
+func postJSON(t *testing.T, client *http.Client, url, tenant string, body map[string]any) (int, map[string]any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", url+"/run", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	res, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return res.StatusCode, out
+}
+
+// TestServeSIGTERMIntegration is the end-to-end smoke: boot the real server
+// on a loopback port, drive corpus programs plus hostile ones (quota
+// exceeding, vet-rejected) over HTTP, then SIGTERM the process and assert a
+// clean drain with no leaked goroutines.
+func TestServeSIGTERMIntegration(t *testing.T) {
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-max-steps", "2000",
+			"-max-wall-clock", "5s",
+			"-drain-timeout", "2s",
+			"-quiet",
+		}, io.Discard, func(addr string) { addrCh <- addr })
+	}()
+	var url string
+	select {
+	case addr := <-addrCh:
+		url = "http://" + addr
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	client := &http.Client{Transport: &http.Transport{}}
+
+	// A slice of the real corpus, end to end.
+	files, err := filepath.Glob(filepath.Join("..", "..", "internal", "codegen", "testdata", "*.te"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus: %v", err)
+	}
+	for _, f := range files[:5] {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, out := postJSON(t, client, url, "corpus", map[string]any{
+			"name": filepath.Base(f), "source": string(src),
+		})
+		if status != http.StatusOK || out["outcome"] != "ok" {
+			t.Fatalf("%s: status %d outcome %v (%v)", f, status, out["outcome"], out["error"])
+		}
+	}
+
+	// Hostile: a quota burner (the default tenant step quota is 2000 via
+	// the flag above) and a vet-rejected discipline violation.
+	status, out := postJSON(t, client, url, "hostile", map[string]any{
+		"source": `shared int b[1] @ 900; func main() { int n = 0; while (1) { n += 1; b[0] = n; } }`,
+	})
+	if status != http.StatusForbidden || out["outcome"] != "quota-exceeded" {
+		t.Fatalf("quota burner: status %d outcome %v", status, out["outcome"])
+	}
+	status, out = postJSON(t, client, url, "hostile", map[string]any{
+		"source": `shared int a[2] @ 100; func main() { #8; a[tid == 3] = tid; }`,
+	})
+	if status != http.StatusUnprocessableEntity || out["outcome"] != "vet-rejected" {
+		t.Fatalf("vet reject: status %d outcome %v", status, out["outcome"])
+	}
+
+	// Metrics reflect the traffic.
+	res, err := client.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	var snap struct {
+		Outcomes map[string]int64 `json:"outcomes"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Outcomes["ok"] != 5 || snap.Outcomes["quota-exceeded"] != 1 || snap.Outcomes["vet-rejected"] != 1 {
+		t.Fatalf("metrics: %s", raw)
+	}
+
+	// Everything is settled; fix the leak baseline (the machine's
+	// process-lifetime worker pools are already warm), then pull the plug.
+	client.CloseIdleConnections()
+	baseline := runtime.NumGoroutine()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain failed: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+
+	if _, err := client.Get(url + "/healthz"); err == nil {
+		t.Fatal("listener still accepting connections after drain")
+	}
+
+	// Zero leaked goroutines: back to (at most) the pre-SIGTERM baseline,
+	// which itself included the serving goroutines that must now be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n < baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			m := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: baseline %d, now %d\n%s", baseline, n, buf[:m])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestServeFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-addr"}, &buf, nil); err == nil {
+		t.Fatal("missing flag value accepted")
+	}
+	if err := run([]string{"stray"}, &buf, nil); err == nil || !strings.Contains(err.Error(), "unexpected arguments") {
+		t.Fatalf("stray argument: %v", err)
+	}
+	if err := run([]string{"-addr", "256.256.256.256:99999"}, &buf, nil); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}

@@ -46,7 +46,7 @@ func Scaling(total, instrs int) ([]ScalingRow, error) {
 	for _, p := range []int{1, 2, 4, 8, 16} {
 		cfg := machine.Default(variant.SingleInstruction)
 		cfg.Groups = p
-		cfg.Topology = topology.NewRing(p)
+		cfg.Topology = topology.Must(topology.NewRing(p))
 		m, err := machine.New(cfg)
 		if err != nil {
 			return nil, err

@@ -80,6 +80,12 @@ type Config struct {
 	// MaxSteps aborts runaway programs.
 	MaxSteps int64
 
+	// MaxThickness bounds the thickness any single flow may reach through
+	// SETTHICK or a SPLIT arm. A program exceeding it stops with an error
+	// wrapping ErrThicknessLimit — the per-tenant thickness quota of the
+	// execution server. 0 disables the bound.
+	MaxThickness int
+
 	// WatchdogSteps enables the progress watchdog: when no observable
 	// progress (committed memory writes, flow creations/completions,
 	// barriers, outputs) happens for this many consecutive steps while
@@ -177,7 +183,11 @@ func (c Config) normalize() (Config, error) {
 		c.LocalWords = 1 << 12
 	}
 	if c.Topology == nil {
-		c.Topology = topology.NewRing(c.Groups)
+		ring, err := topology.NewRing(c.Groups)
+		if err != nil {
+			return c, fmt.Errorf("machine: %w", err)
+		}
+		c.Topology = ring
 	}
 	if c.Topology.Size() != c.Groups {
 		return c, fmt.Errorf("machine: topology size %d != groups %d", c.Topology.Size(), c.Groups)
@@ -205,6 +215,9 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.WatchdogSteps < 0 {
 		return c, fmt.Errorf("machine: negative WatchdogSteps %d", c.WatchdogSteps)
+	}
+	if c.MaxThickness < 0 {
+		return c, fmt.Errorf("machine: negative MaxThickness %d", c.MaxThickness)
 	}
 	if c.FaultPlan != nil {
 		if err := c.FaultPlan.Validate(); err != nil {

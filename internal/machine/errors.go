@@ -21,4 +21,8 @@ var (
 	// selected PRAM model. errors.As against *DisciplineViolation recovers
 	// the step, address and both accesses.
 	ErrDisciplineViolation = errors.New("memory discipline violation")
+	// ErrThicknessLimit: a flow tried to grow past Config.MaxThickness
+	// (SETTHICK or a SPLIT arm). This is the per-tenant thickness quota of
+	// the execution server; 0 disables the bound.
+	ErrThicknessLimit = errors.New("thickness limit exceeded")
 )

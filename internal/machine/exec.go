@@ -208,6 +208,10 @@ func (x *groupExec) applyControl(f *tcf.Flow, in isa.Instr) {
 			x.failf("flow %d: SETTHICK to negative thickness %d", f.ID, t)
 			return
 		}
+		if lim := x.m.cfg.MaxThickness; lim > 0 && t > int64(lim) {
+			x.failw(ErrThicknessLimit, "flow %d: SETTHICK to %d exceeds MaxThickness=%d", f.ID, t, lim)
+			return
+		}
 		if err := f.SetThickness(int(t)); err != nil {
 			x.failf("%v", err)
 			return
@@ -273,6 +277,10 @@ func (x *groupExec) applyControl(f *tcf.Flow, in isa.Instr) {
 			}
 			if t < 0 {
 				x.failf("flow %d: SPLIT arm with negative thickness %d", f.ID, t)
+				return
+			}
+			if lim := x.m.cfg.MaxThickness; lim > 0 && t > int64(lim) {
+				x.failw(ErrThicknessLimit, "flow %d: SPLIT arm thickness %d exceeds MaxThickness=%d", f.ID, t, lim)
 				return
 			}
 			ev.arms = append(ev.arms, armSpec{thick: int(t), pc: arm.Target})

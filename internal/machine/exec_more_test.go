@@ -79,7 +79,7 @@ main:
 `
 	run := func(d int) int64 {
 		m := mustRun(t, variant.SingleInstruction, src, func(c *Config) {
-			c.Topology = topology.NewUniform(4, d)
+			c.Topology = topology.Must(topology.NewUniform(4, d))
 		})
 		return m.Stats().Cycles
 	}

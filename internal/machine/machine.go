@@ -77,11 +77,15 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("machine: %w", err)
 	}
+	shared, err := mem.NewShared(c.SharedWords, c.Groups, c.WritePolicy)
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
 	m := &Machine{
 		cfg:       c,
 		policy:    pol,
 		shape:     pol.Shape(c.machineShape()),
-		shared:    mem.NewShared(c.SharedWords, c.Groups, c.WritePolicy),
+		shared:    shared,
 		flows:     make(map[int]*tcf.Flow),
 		homeGroup: make(map[int]int),
 	}
@@ -94,7 +98,11 @@ func New(cfg Config) (*Machine, error) {
 	m.stats.PerGroupOps = make([]int64, c.Groups)
 	m.stats.PerGroupCycles = make([]int64, c.Groups)
 	for i := 0; i < c.Groups; i++ {
-		m.groups = append(m.groups, &Group{Index: i, Local: mem.NewLocal(i, c.LocalWords)})
+		local, err := mem.NewLocal(i, c.LocalWords)
+		if err != nil {
+			return nil, fmt.Errorf("machine: %w", err)
+		}
+		m.groups = append(m.groups, &Group{Index: i, Local: local})
 		m.execs = append(m.execs, &groupExec{m: m, g: m.groups[i]})
 	}
 	// Group→module distances never change (failover remaps the module

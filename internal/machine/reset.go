@@ -1,0 +1,79 @@
+package machine
+
+import "fmt"
+
+// Reset returns the machine to its just-built state while keeping every
+// internal arena: shared-memory pages are zeroed in place, the group
+// execution arenas, write shards and combiner buffers are truncated, and
+// flows, statistics, outputs and traces are discarded. The next
+// LoadProgram/Run on a Reset machine is bit-identical to the same run on a
+// fresh machine with the same Config — the property the serve-layer machine
+// pool is built on (and that TestPoolReuseBitIdentity proves).
+//
+// Reset invalidates everything previously handed out by this machine:
+// Stats, Outputs, Trace and Shared snapshots must be copied before calling
+// it. Reset must not run concurrently with Step/Run.
+func (m *Machine) Reset() {
+	m.prog = nil
+	clear(m.flows)
+	clear(m.homeGroup)
+	m.nextFlowID = 0
+
+	m.shared.Reset()
+	for _, g := range m.groups {
+		g.Local.Reset()
+		g.Buf.reset()
+	}
+	for _, c := range m.combiners {
+		c.Reset()
+	}
+	for _, x := range m.execs {
+		x.err = nil
+	}
+
+	m.stepOutputs = m.stepOutputs[:0]
+	m.stepEvents = m.stepEvents[:0]
+	m.routes = m.routes[:0]
+	m.discAccs = m.discAccs[:0]
+
+	perOps, perCycles := m.stats.PerGroupOps, m.stats.PerGroupCycles
+	clear(perOps)
+	clear(perCycles)
+	m.stats = Stats{PerGroupOps: perOps, PerGroupCycles: perCycles}
+
+	m.output = m.output[:0]
+	m.halted = false
+	m.runErr = nil
+	m.stepRec = nil
+	m.trace = nil
+}
+
+// reset empties the storage buffer and rewinds its rotation, keeping the
+// slot backing arrays.
+func (b *StorageBuf) reset() {
+	b.Resident = b.Resident[:0]
+	b.Pending = b.Pending[:0]
+	b.rrStart = 0
+}
+
+// SetLimits adjusts the per-run governance bounds of the machine without
+// rebuilding it: maxSteps is the MaxSteps livelock/quota bound (<= 0 selects
+// the default), maxThickness the MaxThickness flow-growth quota (0 disables,
+// negative is an error). The machine pool uses this to stamp each tenant's
+// quota onto a pooled machine, whose shape key deliberately excludes the
+// limits. Limits may only change while no flows exist (before Boot, or
+// right after Reset).
+func (m *Machine) SetLimits(maxSteps int64, maxThickness int) error {
+	if len(m.flows) != 0 {
+		return fmt.Errorf("machine: SetLimits on a booted machine")
+	}
+	if maxThickness < 0 {
+		return fmt.Errorf("machine: negative MaxThickness %d", maxThickness)
+	}
+	if maxSteps <= 0 {
+		maxSteps = 1 << 22 // the normalize() default
+	}
+	m.cfg.MaxSteps = maxSteps
+	m.cfg.MaxThickness = maxThickness
+	return nil
+}

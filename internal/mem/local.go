@@ -17,12 +17,21 @@ type Local struct {
 
 // NewLocal sizes the local memory block of the given group. The backing
 // store materializes on first write; an untouched block reads as zero and
-// costs nothing.
-func NewLocal(group, words int) *Local {
+// costs nothing. Nonpositive sizes return an error wrapping ErrBadSize.
+func NewLocal(group, words int) (*Local, error) {
 	if words <= 0 {
-		panic("mem: local memory size must be positive")
+		return nil, fmt.Errorf("local memory size %d must be positive: %w", words, ErrBadSize)
 	}
-	return &Local{group: group, size: words}
+	return &Local{group: group, size: words}, nil
+}
+
+// Reset zeroes the block in place (keeping the backing store) and clears the
+// access counters, restoring the observable state of a fresh NewLocal.
+func (l *Local) Reset() {
+	if l.words != nil {
+		clear(l.words)
+	}
+	l.reads, l.writes = 0, 0
 }
 
 // ensure materializes the backing store.

@@ -6,12 +6,19 @@
 package mem
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"slices"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrBadSize reports a nonpositive memory size or module count. The
+// constructors return it (wrapped, with the offending value) instead of
+// panicking: machine shapes arrive from untrusted requests on the serve
+// path, so a bad size must fail the one request, not the process.
+var ErrBadSize = errors.New("mem: nonpositive size")
 
 // Policy selects the concurrent-write resolution rule of the CRCW PRAM.
 type Policy int
@@ -153,12 +160,13 @@ type Shared struct {
 }
 
 // NewShared allocates a shared memory of size words over modules modules.
-func NewShared(words, modules int, policy Policy) *Shared {
+// Nonpositive sizes return an error wrapping ErrBadSize.
+func NewShared(words, modules int, policy Policy) (*Shared, error) {
 	if words <= 0 {
-		panic("mem: shared memory size must be positive")
+		return nil, fmt.Errorf("shared memory size %d must be positive: %w", words, ErrBadSize)
 	}
 	if modules <= 0 {
-		panic("mem: module count must be positive")
+		return nil, fmt.Errorf("module count %d must be positive: %w", modules, ErrBadSize)
 	}
 	remap := make([]int, modules)
 	for i := range remap {
@@ -174,7 +182,29 @@ func NewShared(words, modules int, policy Policy) *Shared {
 		modules: modules, modMask: modMask, policy: policy,
 		remap: remap, failed: make([]bool, modules),
 		shards: make([][]Write, modules),
+	}, nil
+}
+
+// Reset restores the memory to its zeroed initial state while keeping the
+// materialized pages and the write-shard backing arrays — the reuse that
+// makes pooled machines cheap. Pages are zeroed in place, the failover
+// remap returns to identity, dead modules revive, and all counters clear.
+// The resulting state is observably identical to a fresh NewShared.
+func (s *Shared) Reset() {
+	for _, p := range s.pages {
+		if p != nil {
+			clear(p)
+		}
 	}
+	for i := range s.remap {
+		s.remap[i] = i
+	}
+	clear(s.failed)
+	s.failovers = 0
+	for i := range s.shards {
+		s.shards[i] = s.shards[i][:0]
+	}
+	s.reads, s.writesDone, s.stepWrites = 0, 0, 0
 }
 
 // SetParallel enables multi-goroutine shard resolution in ApplyStep. Results

@@ -1,13 +1,14 @@
 package mem
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 )
 
 func TestSharedBasics(t *testing.T) {
-	s := NewShared(64, 4, Arbitrary)
+	s := mustShared(t, 64, 4, Arbitrary)
 	if s.Size() != 64 || s.Modules() != 4 {
 		t.Fatalf("bad dimensions: %d words %d modules", s.Size(), s.Modules())
 	}
@@ -24,7 +25,7 @@ func TestSharedBasics(t *testing.T) {
 }
 
 func TestSharedModuleInterleaving(t *testing.T) {
-	s := NewShared(64, 4, Arbitrary)
+	s := mustShared(t, 64, 4, Arbitrary)
 	for addr := int64(0); addr < 64; addr++ {
 		if got, want := s.ModuleOf(addr), int(addr%4); got != want {
 			t.Fatalf("ModuleOf(%d) = %d, want %d", addr, got, want)
@@ -33,7 +34,7 @@ func TestSharedModuleInterleaving(t *testing.T) {
 }
 
 func TestStepSemanticsReadsSeePreStepState(t *testing.T) {
-	s := NewShared(16, 2, Arbitrary)
+	s := mustShared(t, 16, 2, Arbitrary)
 	s.Poke(3, 7)
 	s.BufferWrite(3, 99, Key{Flow: 0, Thread: 0})
 	if got := s.Read(3); got != 7 {
@@ -46,7 +47,7 @@ func TestStepSemanticsReadsSeePreStepState(t *testing.T) {
 }
 
 func TestArbitraryLowestKeyWins(t *testing.T) {
-	s := NewShared(16, 2, Arbitrary)
+	s := mustShared(t, 16, 2, Arbitrary)
 	s.BufferWrite(4, 30, Key{Flow: 2, Thread: 0})
 	s.BufferWrite(4, 10, Key{Flow: 0, Thread: 5})
 	s.BufferWrite(4, 20, Key{Flow: 0, Thread: 9})
@@ -59,7 +60,7 @@ func TestArbitraryLowestKeyWins(t *testing.T) {
 }
 
 func TestPrioritySeqTieBreak(t *testing.T) {
-	s := NewShared(16, 2, Priority)
+	s := mustShared(t, 16, 2, Priority)
 	s.BufferWrite(4, 2, Key{Flow: 1, Thread: 1, Seq: 1})
 	s.BufferWrite(4, 1, Key{Flow: 1, Thread: 1, Seq: 0})
 	s.ApplyStep()
@@ -69,7 +70,7 @@ func TestPrioritySeqTieBreak(t *testing.T) {
 }
 
 func TestCommonConflictDetection(t *testing.T) {
-	s := NewShared(16, 2, Common)
+	s := mustShared(t, 16, 2, Common)
 	s.BufferWrite(4, 5, Key{Flow: 0})
 	s.BufferWrite(4, 5, Key{Flow: 1})
 	if c := s.ApplyStep(); len(c) != 0 {
@@ -87,7 +88,7 @@ func TestCommonConflictDetection(t *testing.T) {
 }
 
 func TestOutOfRangeWritesDropped(t *testing.T) {
-	s := NewShared(8, 2, Arbitrary)
+	s := mustShared(t, 8, 2, Arbitrary)
 	s.BufferWrite(100, 1, Key{})
 	s.BufferWrite(-3, 1, Key{})
 	if s.PendingWrites() != 0 {
@@ -97,7 +98,7 @@ func TestOutOfRangeWritesDropped(t *testing.T) {
 }
 
 func TestLoadSegment(t *testing.T) {
-	s := NewShared(16, 2, Arbitrary)
+	s := mustShared(t, 16, 2, Arbitrary)
 	if err := s.Load(4, []int64{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestLoadSegment(t *testing.T) {
 }
 
 func TestStatsAccumulate(t *testing.T) {
-	s := NewShared(16, 2, Arbitrary)
+	s := mustShared(t, 16, 2, Arbitrary)
 	s.Read(0)
 	s.Read(1)
 	s.BufferWrite(0, 1, Key{})
@@ -126,21 +127,36 @@ func TestStatsAccumulate(t *testing.T) {
 	}
 }
 
-func TestConstructorPanics(t *testing.T) {
-	for _, f := range []func(){
-		func() { NewShared(0, 1, Arbitrary) },
-		func() { NewShared(8, 0, Arbitrary) },
-		func() { NewLocal(0, 0) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			f()
-		}()
+func TestConstructorErrors(t *testing.T) {
+	if _, err := NewShared(0, 1, Arbitrary); !errors.Is(err, ErrBadSize) {
+		t.Errorf("NewShared(0,1): err = %v, want ErrBadSize", err)
 	}
+	if _, err := NewShared(8, 0, Arbitrary); !errors.Is(err, ErrBadSize) {
+		t.Errorf("NewShared(8,0): err = %v, want ErrBadSize", err)
+	}
+	if _, err := NewLocal(0, 0); !errors.Is(err, ErrBadSize) {
+		t.Errorf("NewLocal(0,0): err = %v, want ErrBadSize", err)
+	}
+}
+
+// mustShared is the test-side constructor for known-good shapes.
+func mustShared(tb testing.TB, words, modules int, policy Policy) *Shared {
+	tb.Helper()
+	s, err := NewShared(words, modules, policy)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// mustLocal is the test-side constructor for known-good shapes.
+func mustLocal(tb testing.TB, group, words int) *Local {
+	tb.Helper()
+	l, err := NewLocal(group, words)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return l
 }
 
 func TestPolicyString(t *testing.T) {
@@ -157,7 +173,7 @@ func TestPolicyString(t *testing.T) {
 func TestResolutionMatchesMinKey(t *testing.T) {
 	prop := func(seed int64, n uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
-		s := NewShared(8, 2, Arbitrary)
+		s := mustShared(t, 8, 2, Arbitrary)
 		type w struct {
 			addr, val int64
 			key       Key
@@ -225,7 +241,7 @@ func TestKeyOrdering(t *testing.T) {
 }
 
 func TestLocalMemory(t *testing.T) {
-	l := NewLocal(2, 32)
+	l := mustLocal(t, 2, 32)
 	if l.Group() != 2 || l.Size() != 32 {
 		t.Fatal("bad local dimensions")
 	}
@@ -253,7 +269,7 @@ func TestLocalMemory(t *testing.T) {
 }
 
 func TestModuleFailover(t *testing.T) {
-	s := NewShared(64, 4, Arbitrary)
+	s := mustShared(t, 64, 4, Arbitrary)
 	for a := int64(0); a < 8; a++ {
 		if s.ModuleOf(a) != s.HomeModuleOf(a) {
 			t.Fatal("remap must start as identity")
@@ -290,7 +306,7 @@ func TestModuleFailover(t *testing.T) {
 }
 
 func TestModuleFailoverUnrecoverable(t *testing.T) {
-	s := NewShared(16, 2, Arbitrary)
+	s := mustShared(t, 16, 2, Arbitrary)
 	if err := s.FailModule(0); err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +322,7 @@ func TestModuleFailoverUnrecoverable(t *testing.T) {
 // pages return zero without materializing anything, and writes land on the
 // right page.
 func TestSharedPagedBacking(t *testing.T) {
-	s := NewShared(3*pageWords+17, 4, Arbitrary)
+	s := mustShared(t, 3*pageWords+17, 4, Arbitrary)
 	for _, p := range s.pages {
 		if p != nil {
 			t.Fatal("page materialized before any write")
@@ -334,7 +350,7 @@ func TestSharedPagedBacking(t *testing.T) {
 // TestSnapshotPagedAndClamped checks the direct-copy Snapshot across page
 // boundaries, unmaterialized holes and the end of the address space.
 func TestSnapshotPagedAndClamped(t *testing.T) {
-	s := NewShared(2*pageWords+8, 4, Arbitrary)
+	s := mustShared(t, 2*pageWords+8, 4, Arbitrary)
 	s.Poke(pageWords-1, 11)
 	s.Poke(pageWords, 22) // next page
 	s.Poke(2*pageWords+7, 33)
@@ -379,8 +395,8 @@ func TestApplyStepShardedMatchesSerial(t *testing.T) {
 					key:  Key{Flow: rng.Intn(4), Thread: rng.Intn(8), Seq: rng.Intn(2)},
 				}
 			}
-			serial := NewShared(512, 5, policy)
-			parallel := NewShared(512, 5, policy)
+			serial := mustShared(t, 512, 5, policy)
+			parallel := mustShared(t, 512, 5, policy)
 			parallel.SetParallel(true)
 			for _, b := range batch {
 				serial.BufferWrite(b.addr, b.val, b.key)

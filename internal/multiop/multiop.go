@@ -90,6 +90,11 @@ func (c *Combiner) Add(ct Contribution) { c.cs = append(c.cs, ct) }
 // Len returns the number of recorded contributions.
 func (c *Combiner) Len() int { return len(c.cs) }
 
+// Reset discards any recorded contributions, keeping the backing arenas. A
+// run that stops between Add and Resolve (quota abort, cancellation) leaves
+// traffic behind; pooled machines clear it here before reuse.
+func (c *Combiner) Reset() { c.cs = c.cs[:0] }
+
 // Apply combines a pair under the operator.
 func (c *Combiner) Apply(a, b int64) int64 {
 	return Apply(c.kind, a, b)

@@ -41,7 +41,7 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestSinglePacketLatencyEqualsDistancePlusConstant(t *testing.T) {
-	topo := topology.NewMesh2D(4, 4)
+	topo := topology.Must(topology.NewMesh2D(4, 4))
 	for src := 0; src < 16; src++ {
 		for dst := 0; dst < 16; dst++ {
 			n, _ := New(mesh4x4())
@@ -73,7 +73,7 @@ func TestTorusUsesWraparound(t *testing.T) {
 // Property: every packet is delivered (no loss) and its hop count equals the
 // topology distance under dimension-order routing.
 func TestAllDeliveredWithExactHops(t *testing.T) {
-	topo := topology.NewMesh2D(5, 3)
+	topo := topology.Must(topology.NewMesh2D(5, 3))
 	prop := func(seed int64) bool {
 		s, err := RandomTraffic(Config{Kind: Mesh2D, Width: 5, Height: 3, LinkCapacity: 2}, 4, seed)
 		if err != nil {

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tcfpram/internal/mem"
+	"tcfpram/internal/variant"
+)
+
+// TestCacheSingleFlight: concurrent requests for one program share exactly
+// one vet+compile.
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewProgramCache(64)
+	var wg sync.WaitGroup
+	entries := make([]*cacheEntry, 16)
+	for i := range entries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			entries[i] = c.Get(validSrc, variant.SingleInstruction, mem.DisciplineCREW)
+		}(i)
+	}
+	wg.Wait()
+	first := entries[0]
+	for i, e := range entries {
+		if e != first {
+			t.Fatalf("request %d got a different entry", i)
+		}
+	}
+	if first.rejected || first.err != nil || first.compiled == nil {
+		t.Fatalf("bad entry: %+v", first)
+	}
+	cc := c.Counters()
+	if cc.Misses != 1 || cc.Hits != 15 || cc.Entries != 1 {
+		t.Fatalf("counters: %+v", cc)
+	}
+}
+
+// TestCacheMemoizesFailures: broken programs are compiled once and the
+// rejection class (frontend vs analyzer) is preserved.
+func TestCacheMemoizesFailures(t *testing.T) {
+	c := NewProgramCache(64)
+	for i := 0; i < 3; i++ {
+		e := c.Get(vetBadSrc, variant.SingleInstruction, mem.DisciplineCREW)
+		if !e.rejected || e.frontend {
+			t.Fatalf("vet-bad entry: rejected=%v frontend=%v", e.rejected, e.frontend)
+		}
+		e = c.Get(parseBadSrc, variant.SingleInstruction, mem.DisciplineCREW)
+		if !e.rejected || !e.frontend {
+			t.Fatalf("parse-bad entry: rejected=%v frontend=%v", e.rejected, e.frontend)
+		}
+	}
+	if cc := c.Counters(); cc.Misses != 2 || cc.Hits != 4 {
+		t.Fatalf("counters: %+v", cc)
+	}
+}
+
+// TestCacheKeyedByDiscipline: the same source vets differently under CRCW
+// (where concurrent writes are legal) than under CREW.
+func TestCacheKeyedByDiscipline(t *testing.T) {
+	c := NewProgramCache(64)
+	crew := c.Get(vetBadSrc, variant.SingleInstruction, mem.DisciplineCREW)
+	crcw := c.Get(vetBadSrc, variant.SingleInstruction, mem.DisciplineCRCW)
+	if !crew.rejected {
+		t.Fatal("CREW accepted a concurrent write")
+	}
+	if crcw.rejected {
+		t.Fatal("CRCW rejected a legal concurrent write")
+	}
+}
+
+// TestCacheEviction: the cache stays bounded, evicting settled entries.
+func TestCacheEviction(t *testing.T) {
+	c := NewProgramCache(16)
+	for i := 0; i < 24; i++ {
+		src := fmt.Sprintf(`func main() { print(%d); }`, i)
+		if e := c.Get(src, variant.SingleInstruction, mem.DisciplineCREW); e.rejected || e.err != nil {
+			t.Fatalf("program %d rejected", i)
+		}
+	}
+	cc := c.Counters()
+	if cc.Entries > 16 {
+		t.Fatalf("cache grew past its bound: %+v", cc)
+	}
+	if cc.Evictions < 8 {
+		t.Fatalf("expected at least 8 evictions: %+v", cc)
+	}
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"tcfpram/internal/machine"
+)
+
+// metrics holds the server's atomic counters. Outcome counters are indexed
+// by the same outcome strings the /run responses carry, so a client and the
+// /metrics endpoint always agree on terminology.
+type metrics struct {
+	admitted atomic.Int64 // requests that acquired a run slot
+
+	ok           atomic.Int64
+	shed         atomic.Int64 // load-shed at the admission queue
+	tenantBusy   atomic.Int64 // per-tenant concurrency cap
+	draining     atomic.Int64 // rejected because the server is draining
+	badRequest   atomic.Int64
+	tooLarge     atomic.Int64
+	vetRejected  atomic.Int64
+	compileError atomic.Int64
+	quota        atomic.Int64 // MaxSteps / MaxThickness / shared-memory quota
+	deadline     atomic.Int64 // wall-clock deadline or client cancel
+	runtimeFault atomic.Int64 // deadlock, discipline violation, machine fault
+	panics       atomic.Int64 // isolated request panics
+
+	steps       atomic.Int64 // machine steps executed, all runs
+	cycles      atomic.Int64 // simulated cycles, all runs
+	stageCycles [machine.NumStages]atomic.Int64
+}
+
+// count records one finished request under its outcome string.
+func (m *metrics) count(outcome string) {
+	switch outcome {
+	case outcomeOK:
+		m.ok.Add(1)
+	case outcomeShed:
+		m.shed.Add(1)
+	case outcomeTenantBusy:
+		m.tenantBusy.Add(1)
+	case outcomeDraining:
+		m.draining.Add(1)
+	case outcomeBadRequest:
+		m.badRequest.Add(1)
+	case outcomeTooLarge:
+		m.tooLarge.Add(1)
+	case outcomeVetRejected:
+		m.vetRejected.Add(1)
+	case outcomeCompileError:
+		m.compileError.Add(1)
+	case outcomeQuota:
+		m.quota.Add(1)
+	case outcomeDeadline:
+		m.deadline.Add(1)
+	case outcomeRuntimeFault:
+		m.runtimeFault.Add(1)
+	case outcomePanic:
+		m.panics.Add(1)
+	}
+}
+
+// observe folds one run's statistics into the cumulative counters,
+// including the Figure 13 per-stage cycle attribution.
+func (m *metrics) observe(st *machine.Stats) {
+	if st == nil {
+		return
+	}
+	m.steps.Add(st.Steps)
+	m.cycles.Add(st.Cycles)
+	for i := range st.Stages {
+		m.stageCycles[i].Add(st.Stages[i].Cycles)
+	}
+}
+
+// MetricsSnapshot is the JSON document served by /metrics.
+type MetricsSnapshot struct {
+	QueueDepth int64 `json:"queue_depth"` // requests waiting for a run slot
+	Running    int64 `json:"running"`     // requests holding a run slot
+	Draining   bool  `json:"draining"`
+
+	Admitted int64            `json:"admitted"`
+	Outcomes map[string]int64 `json:"outcomes"`
+
+	Steps       int64            `json:"steps"`
+	Cycles      int64            `json:"cycles"`
+	StageCycles map[string]int64 `json:"stage_cycles"`
+
+	Pool  PoolCounters  `json:"pool"`
+	Cache CacheCounters `json:"cache"`
+}
+
+// Metrics returns a point-in-time snapshot of the server's counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	m := &s.metrics
+	snap := MetricsSnapshot{
+		QueueDepth: s.queued.Load(),
+		Running:    s.running.Load(),
+		Draining:   s.drainFlag.Load(),
+		Admitted:   m.admitted.Load(),
+		Outcomes: map[string]int64{
+			outcomeOK:           m.ok.Load(),
+			outcomeShed:         m.shed.Load(),
+			outcomeTenantBusy:   m.tenantBusy.Load(),
+			outcomeDraining:     m.draining.Load(),
+			outcomeBadRequest:   m.badRequest.Load(),
+			outcomeTooLarge:     m.tooLarge.Load(),
+			outcomeVetRejected:  m.vetRejected.Load(),
+			outcomeCompileError: m.compileError.Load(),
+			outcomeQuota:        m.quota.Load(),
+			outcomeDeadline:     m.deadline.Load(),
+			outcomeRuntimeFault: m.runtimeFault.Load(),
+			outcomePanic:        m.panics.Load(),
+		},
+		Steps:       m.steps.Load(),
+		Cycles:      m.cycles.Load(),
+		StageCycles: make(map[string]int64, machine.NumStages),
+		Pool:        s.pool.Counters(),
+		Cache:       s.cache.Counters(),
+	}
+	for i := range m.stageCycles {
+		snap.StageCycles[machine.Stage(i).String()] = m.stageCycles[i].Load()
+	}
+	return snap
+}

@@ -5,9 +5,17 @@
 package topology
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrBadShape reports an invalid topology shape (nonpositive node count or
+// distance, hypercube dimension out of range). Constructors return it
+// (wrapped) instead of panicking: topologies are built from untrusted
+// request parameters on the serve path, so a bad shape must fail the one
+// request, not the process.
+var ErrBadShape = errors.New("topology: invalid shape")
 
 // Topology defines a distance metric over n processor groups, where group i
 // is co-located with memory block i.
@@ -23,10 +31,21 @@ type Topology interface {
 	Diameter() int
 }
 
-func checkSize(n int) {
-	if n <= 0 {
-		panic("topology: size must be positive")
+// Must unwraps a constructor result, panicking on error. For trusted
+// call sites (tests, compiled-in experiment sweeps) where the shape is a
+// constant; request-path code must handle the error instead.
+func Must[T Topology](t T, err error) T {
+	if err != nil {
+		panic(err)
 	}
+	return t
+}
+
+func checkSize(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("size %d must be positive: %w", n, ErrBadShape)
+	}
+	return nil
 }
 
 func checkPair(t Topology, g, m int) {
@@ -39,7 +58,12 @@ func checkPair(t Topology, g, m int) {
 type Ring struct{ n int }
 
 // NewRing returns a ring topology of n nodes.
-func NewRing(n int) Ring { checkSize(n); return Ring{n} }
+func NewRing(n int) (Ring, error) {
+	if err := checkSize(n); err != nil {
+		return Ring{}, err
+	}
+	return Ring{n}, nil
+}
 
 func (r Ring) Name() string { return fmt.Sprintf("ring(%d)", r.n) }
 func (r Ring) Size() int    { return r.n }
@@ -62,22 +86,28 @@ func (r Ring) Diameter() int { return r.n / 2 }
 type Mesh2D struct{ w, h int }
 
 // NewMesh2D returns a w×h mesh.
-func NewMesh2D(w, h int) Mesh2D {
-	checkSize(w)
-	checkSize(h)
-	return Mesh2D{w, h}
+func NewMesh2D(w, h int) (Mesh2D, error) {
+	if err := checkSize(w); err != nil {
+		return Mesh2D{}, err
+	}
+	if err := checkSize(h); err != nil {
+		return Mesh2D{}, err
+	}
+	return Mesh2D{w, h}, nil
 }
 
 // NewSquareMesh returns the smallest square-ish mesh with at least n nodes
 // that has exactly n nodes when n is a perfect square; otherwise it returns
 // a 1×n mesh degenerating to a line. Prefer explicit dimensions.
-func NewSquareMesh(n int) Mesh2D {
-	checkSize(n)
+func NewSquareMesh(n int) (Mesh2D, error) {
+	if err := checkSize(n); err != nil {
+		return Mesh2D{}, err
+	}
 	s := int(math.Sqrt(float64(n)))
 	if s*s == n {
-		return Mesh2D{s, s}
+		return Mesh2D{s, s}, nil
 	}
-	return Mesh2D{n, 1}
+	return Mesh2D{n, 1}, nil
 }
 
 func (m Mesh2D) Name() string     { return fmt.Sprintf("mesh(%dx%d)", m.w, m.h) }
@@ -100,10 +130,14 @@ func (m Mesh2D) Diameter() int { return (m.w - 1) + (m.h - 1) }
 type Torus2D struct{ w, h int }
 
 // NewTorus2D returns a w×h torus.
-func NewTorus2D(w, h int) Torus2D {
-	checkSize(w)
-	checkSize(h)
-	return Torus2D{w, h}
+func NewTorus2D(w, h int) (Torus2D, error) {
+	if err := checkSize(w); err != nil {
+		return Torus2D{}, err
+	}
+	if err := checkSize(h); err != nil {
+		return Torus2D{}, err
+	}
+	return Torus2D{w, h}, nil
 }
 
 func (t Torus2D) Name() string     { return fmt.Sprintf("torus(%dx%d)", t.w, t.h) }
@@ -134,11 +168,11 @@ func (t Torus2D) Diameter() int { return t.w/2 + t.h/2 }
 type Hypercube struct{ d int }
 
 // NewHypercube returns a hypercube of dimension d (2^d nodes).
-func NewHypercube(d int) Hypercube {
+func NewHypercube(d int) (Hypercube, error) {
 	if d < 0 || d > 30 {
-		panic("topology: hypercube dimension out of range")
+		return Hypercube{}, fmt.Errorf("hypercube dimension %d outside [0,30]: %w", d, ErrBadShape)
 	}
-	return Hypercube{d}
+	return Hypercube{d}, nil
 }
 
 func (h Hypercube) Name() string { return fmt.Sprintf("hypercube(%d)", h.d) }
@@ -165,12 +199,14 @@ type Uniform struct {
 }
 
 // NewUniform returns a uniform-distance topology of n nodes at distance d.
-func NewUniform(n, d int) Uniform {
-	checkSize(n)
-	if d < 0 {
-		panic("topology: negative uniform distance")
+func NewUniform(n, d int) (Uniform, error) {
+	if err := checkSize(n); err != nil {
+		return Uniform{}, err
 	}
-	return Uniform{n, d}
+	if d < 0 {
+		return Uniform{}, fmt.Errorf("uniform distance %d must be nonnegative: %w", d, ErrBadShape)
+	}
+	return Uniform{n, d}, nil
 }
 
 func (u Uniform) Name() string { return fmt.Sprintf("uniform(%d,d=%d)", u.n, u.d) }

@@ -1,17 +1,18 @@
 package topology
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
 
 func all() []Topology {
 	return []Topology{
-		NewRing(1), NewRing(2), NewRing(7), NewRing(8),
-		NewMesh2D(1, 1), NewMesh2D(4, 4), NewMesh2D(3, 5),
-		NewTorus2D(4, 4), NewTorus2D(5, 3),
-		NewHypercube(0), NewHypercube(3), NewHypercube(5),
-		NewUniform(1, 4), NewUniform(8, 4), NewUniform(8, 0),
+		Must(NewRing(1)), Must(NewRing(2)), Must(NewRing(7)), Must(NewRing(8)),
+		Must(NewMesh2D(1, 1)), Must(NewMesh2D(4, 4)), Must(NewMesh2D(3, 5)),
+		Must(NewTorus2D(4, 4)), Must(NewTorus2D(5, 3)),
+		Must(NewHypercube(0)), Must(NewHypercube(3)), Must(NewHypercube(5)),
+		Must(NewUniform(1, 4)), Must(NewUniform(8, 4)), Must(NewUniform(8, 0)),
 	}
 }
 
@@ -66,34 +67,34 @@ func TestTriangleInequality(t *testing.T) {
 }
 
 func TestKnownDistances(t *testing.T) {
-	r := NewRing(8)
+	r := Must(NewRing(8))
 	if r.Distance(0, 4) != 4 || r.Distance(0, 7) != 1 || r.Distance(2, 6) != 4 {
 		t.Error("ring distances wrong")
 	}
-	m := NewMesh2D(4, 4)
+	m := Must(NewMesh2D(4, 4))
 	if m.Distance(0, 15) != 6 || m.Distance(0, 3) != 3 || m.Distance(5, 10) != 2 {
 		t.Error("mesh distances wrong")
 	}
-	to := NewTorus2D(4, 4)
+	to := Must(NewTorus2D(4, 4))
 	if to.Distance(0, 3) != 1 || to.Distance(0, 15) != 2 {
 		t.Error("torus distances wrong")
 	}
-	h := NewHypercube(3)
+	h := Must(NewHypercube(3))
 	if h.Distance(0, 7) != 3 || h.Distance(1, 2) != 2 || h.Distance(5, 5) != 0 {
 		t.Error("hypercube distances wrong")
 	}
-	u := NewUniform(8, 4)
+	u := Must(NewUniform(8, 4))
 	if u.Distance(0, 1) != 4 || u.Distance(3, 3) != 0 {
 		t.Error("uniform distances wrong")
 	}
 }
 
 func TestSquareMesh(t *testing.T) {
-	m := NewSquareMesh(16)
+	m := Must(NewSquareMesh(16))
 	if w, h := m.Dims(); w != 4 || h != 4 {
 		t.Fatalf("square mesh dims = %dx%d", w, h)
 	}
-	m = NewSquareMesh(6)
+	m = Must(NewSquareMesh(6))
 	if m.Size() != 6 {
 		t.Fatalf("non-square fallback size = %d", m.Size())
 	}
@@ -101,8 +102,8 @@ func TestSquareMesh(t *testing.T) {
 
 func TestTorusWraparoundNeverFartherThanMesh(t *testing.T) {
 	prop := func(a, b uint8) bool {
-		mesh := NewMesh2D(6, 6)
-		tor := NewTorus2D(6, 6)
+		mesh := Must(NewMesh2D(6, 6))
+		tor := Must(NewTorus2D(6, 6))
 		g, m := int(a)%36, int(b)%36
 		return tor.Distance(g, m) <= mesh.Distance(g, m)
 	}
@@ -112,39 +113,48 @@ func TestTorusWraparoundNeverFartherThanMesh(t *testing.T) {
 }
 
 func TestAverageDistance(t *testing.T) {
-	if got := AverageDistance(NewUniform(1, 5)); got != 0 {
+	if got := AverageDistance(Must(NewUniform(1, 5))); got != 0 {
 		t.Fatalf("avg of singleton = %f", got)
 	}
-	got := AverageDistance(NewUniform(4, 6))
+	got := AverageDistance(Must(NewUniform(4, 6)))
 	want := 6.0 * 12 / 16 // 12 off-diagonal pairs of 16
 	if got != want {
 		t.Fatalf("avg uniform = %f, want %f", got, want)
 	}
-	if AverageDistance(NewMesh2D(4, 4)) <= 0 {
+	if AverageDistance(Must(NewMesh2D(4, 4))) <= 0 {
 		t.Fatal("mesh average distance must be positive")
 	}
 }
 
-func TestConstructorPanics(t *testing.T) {
-	for _, f := range []func(){
-		func() { NewRing(0) },
-		func() { NewMesh2D(0, 3) },
-		func() { NewTorus2D(3, 0) },
-		func() { NewHypercube(-1) },
-		func() { NewHypercube(31) },
-		func() { NewUniform(0, 1) },
-		func() { NewUniform(4, -1) },
-		func() { NewRing(4).Distance(0, 9) },
+func TestConstructorErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+	}{
+		{"ring(0)", func() error { _, err := NewRing(0); return err }()},
+		{"mesh(0,3)", func() error { _, err := NewMesh2D(0, 3); return err }()},
+		{"torus(3,0)", func() error { _, err := NewTorus2D(3, 0); return err }()},
+		{"hypercube(-1)", func() error { _, err := NewHypercube(-1); return err }()},
+		{"hypercube(31)", func() error { _, err := NewHypercube(31); return err }()},
+		{"uniform(0,1)", func() error { _, err := NewUniform(0, 1); return err }()},
+		{"uniform(4,-1)", func() error { _, err := NewUniform(4, -1); return err }()},
+		{"squaremesh(0)", func() error { _, err := NewSquareMesh(0); return err }()},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			f()
-		}()
+		if !errors.Is(tc.err, ErrBadShape) {
+			t.Errorf("%s: err = %v, want ErrBadShape", tc.name, tc.err)
+		}
 	}
+}
+
+// Distance on out-of-range pairs still panics: pair indices come from the
+// machine's own loops, never from requests, so a violation is a library bug.
+func TestDistancePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Must(NewRing(4)).Distance(0, 9)
 }
 
 func TestNames(t *testing.T) {

@@ -136,6 +136,7 @@ var (
 	ErrCanceled            = machine.ErrCanceled
 	ErrFaultUnrecoverable  = machine.ErrFaultUnrecoverable
 	ErrDisciplineViolation = machine.ErrDisciplineViolation
+	ErrThicknessLimit      = machine.ErrThicknessLimit
 )
 
 // Discipline selects the PRAM memory discipline checked by the tcfvet
@@ -260,6 +261,24 @@ func (m *Machine) LoadBinary(data []byte) error {
 		return err
 	}
 	return m.inner.LoadProgram(p)
+}
+
+// Reset returns the machine to its just-built state while keeping its
+// internal arenas, so it can be reused for another program: the next
+// LoadSource/Run is bit-identical to the same run on a fresh machine with
+// the same Config. Previously returned Stats, Outputs and traces are
+// invalidated.
+func (m *Machine) Reset() {
+	m.inner.Reset()
+	m.compiled = nil
+}
+
+// SetLimits adjusts the per-run governance bounds (MaxSteps, MaxThickness)
+// of an un-booted or freshly Reset machine — the quota hook of pooled,
+// multi-tenant execution. maxSteps <= 0 selects the default bound;
+// maxThickness 0 disables the thickness quota.
+func (m *Machine) SetLimits(maxSteps int64, maxThickness int) error {
+	return m.inner.SetLimits(maxSteps, maxThickness)
 }
 
 // Run executes the program to completion and returns the statistics.
