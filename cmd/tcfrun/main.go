@@ -16,6 +16,16 @@
 // model forbids. -max-steps and -timeout bound runaway programs through the
 // same governance path (SetLimits + RunContext) the tcfserve execution
 // server enforces tenant quotas with.
+//
+// -checkpoint FILE writes a complete machine snapshot to FILE every
+// -checkpoint-every steps (atomic replace; the file always holds the latest
+// checkpoint). -resume FILE restores from such a snapshot — the program is
+// embedded, so no program argument is given — and continues the run
+// bit-identically to the uninterrupted one:
+//
+//	tcfrun -checkpoint run.ckpt -checkpoint-every 512 program.te
+//	tcfrun -resume run.ckpt                 # after a crash
+//	tcfrun -resume run.ckpt -checkpoint run.ckpt   # resume and keep checkpointing
 package main
 
 import (
@@ -54,6 +64,9 @@ func run(args []string, out io.Writer) error {
 	discName := fs.String("discipline", "", "memory discipline checked at runtime (and by -vet): erew|crew|crcw|off")
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the run, e.g. 5s (0 = none)")
 	maxSteps := fs.Int64("max-steps", 0, "abort after this many machine steps (0 = default bound)")
+	ckptPath := fs.String("checkpoint", "", "write a machine checkpoint to this file periodically (atomic replace)")
+	ckptEvery := fs.Int64("checkpoint-every", 1024, "steps between checkpoints (with -checkpoint)")
+	resumePath := fs.String("resume", "", "resume from a checkpoint file instead of loading a program")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -68,10 +81,13 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(os.Stderr, "tcfrun:", perr)
 		}
 	}()
-	if fs.NArg() != 1 {
+	if *resumePath != "" {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-resume restores the program from the checkpoint; no program file expected")
+		}
+	} else if fs.NArg() != 1 {
 		return fmt.Errorf("expected exactly one program file (or '-' for stdin)")
 	}
-	path := fs.Arg(0)
 
 	kind, err := tcfpram.ParseVariant(*variantName)
 	if err != nil {
@@ -94,74 +110,107 @@ func run(args []string, out io.Writer) error {
 	}
 	cfg.MemDiscipline = disc
 
-	var src []byte
-	if path == "-" {
-		src, err = io.ReadAll(os.Stdin)
+	// Checkpoint wiring rides in the Config so it applies uniformly to fresh
+	// and restored machines (it is result-neutral: restore ignores it when
+	// comparing the snapshot's config).
+	if *ckptPath != "" {
+		if *ckptEvery <= 0 {
+			return fmt.Errorf("-checkpoint-every must be positive, got %d", *ckptEvery)
+		}
+		cfg.CheckpointEvery = *ckptEvery
+		cfg.CheckpointSink = &tcfpram.FileCheckpointSink{Path: *ckptPath}
+	}
+
+	var m *tcfpram.Machine
+	if *resumePath != "" {
+		// Behavior-relevant limits must match the snapshot; route -max-steps
+		// through the config so RestoreMachine can verify it.
+		if *maxSteps > 0 {
+			cfg.MaxSteps = *maxSteps
+		}
+		// The checkpoint embeds the program; the flags must describe the
+		// same machine shape the snapshot was taken with (RestoreMachine
+		// verifies and names any mismatch).
+		f, err := os.Open(*resumePath)
+		if err != nil {
+			return err
+		}
+		m, err = tcfpram.RestoreMachine(f, cfg)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("resume %s: %w", *resumePath, err)
+		}
 	} else {
-		src, err = os.ReadFile(path)
-	}
-	if err != nil {
-		return err
-	}
-
-	lang := ""
-	switch {
-	case strings.HasSuffix(path, ".tasm"):
-		lang = "asm"
-	case strings.HasSuffix(path, ".tbin"):
-		lang = "bin"
-	default:
-		lang = "tcfe"
-	}
-	switch *langSel {
-	case "asm", "tcfe", "bin":
-		lang = *langSel
-	case "":
-	default:
-		return fmt.Errorf("unknown -lang %q (want tcfe, asm or bin)", *langSel)
-	}
-
-	if *vet && lang == "tcfe" {
-		// Without an explicit -discipline, vet under CREW (the tcfvet
-		// default); an explicit "off" runs the hygiene checks only.
-		vetDisc := disc
-		if *discName == "" {
-			vetDisc = tcfpram.DisciplineCREW
+		path := fs.Arg(0)
+		var src []byte
+		if path == "-" {
+			src, err = io.ReadAll(os.Stdin)
+		} else {
+			src, err = os.ReadFile(path)
 		}
-		ds := tcfpram.Vet(path, string(src), tcfpram.VetOptions{
-			Discipline: vetDisc,
-			Variant:    kind,
-		})
-		if r := tcfpram.RenderDiagnostics(ds); r != "" {
-			fmt.Fprint(out, r)
+		if err != nil {
+			return err
 		}
-		if tcfpram.DiagnosticsHaveErrors(ds) {
-			return fmt.Errorf("vet: %d finding(s); not running", len(ds))
-		}
-	}
 
-	m, err := tcfpram.NewMachine(cfg)
-	if err != nil {
-		return err
-	}
-	switch lang {
-	case "asm":
-		err = m.LoadAssembly(path, string(src))
-	case "bin":
-		err = m.LoadBinary(src)
-	default:
-		err = m.LoadSource(path, string(src))
-	}
-	if err != nil {
-		return err
+		lang := ""
+		switch {
+		case strings.HasSuffix(path, ".tasm"):
+			lang = "asm"
+		case strings.HasSuffix(path, ".tbin"):
+			lang = "bin"
+		default:
+			lang = "tcfe"
+		}
+		switch *langSel {
+		case "asm", "tcfe", "bin":
+			lang = *langSel
+		case "":
+		default:
+			return fmt.Errorf("unknown -lang %q (want tcfe, asm or bin)", *langSel)
+		}
+
+		if *vet && lang == "tcfe" {
+			// Without an explicit -discipline, vet under CREW (the tcfvet
+			// default); an explicit "off" runs the hygiene checks only.
+			vetDisc := disc
+			if *discName == "" {
+				vetDisc = tcfpram.DisciplineCREW
+			}
+			ds := tcfpram.Vet(path, string(src), tcfpram.VetOptions{
+				Discipline: vetDisc,
+				Variant:    kind,
+			})
+			if r := tcfpram.RenderDiagnostics(ds); r != "" {
+				fmt.Fprint(out, r)
+			}
+			if tcfpram.DiagnosticsHaveErrors(ds) {
+				return fmt.Errorf("vet: %d finding(s); not running", len(ds))
+			}
+		}
+
+		if m, err = tcfpram.NewMachine(cfg); err != nil {
+			return err
+		}
+		switch lang {
+		case "asm":
+			err = m.LoadAssembly(path, string(src))
+		case "bin":
+			err = m.LoadBinary(src)
+		default:
+			err = m.LoadSource(path, string(src))
+		}
+		if err != nil {
+			return err
+		}
 	}
 	if *showDis {
 		fmt.Fprintln(out, m.Disassembly())
 	}
 	// -max-steps and -timeout route through SetLimits and RunContext — the
 	// same governance path the tcfserve execution server stamps per-tenant
-	// quotas and deadlines through.
-	if *maxSteps > 0 {
+	// quotas and deadlines through. A restored machine got its bound from
+	// the config above (SetLimits only applies before Boot).
+	if *maxSteps > 0 && *resumePath == "" {
 		if err := m.SetLimits(*maxSteps, 0); err != nil {
 			return err
 		}

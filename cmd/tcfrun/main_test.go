@@ -216,3 +216,85 @@ func main() {
 		t.Fatalf("output:\n%s", out.String())
 	}
 }
+
+// TestCheckpointAndResume: run with -checkpoint, kill by -max-steps bound
+// being irrelevant — instead simulate a crash by running a first process
+// with checkpointing on a program long enough to write at least one
+// checkpoint, then -resume from the file and require the full output.
+func TestCheckpointAndResume(t *testing.T) {
+	// ~48 steps on the default config: enough boundaries to checkpoint at.
+	prog := write(t, "p.te", `
+shared int c[8] @ 300;
+func main() {
+    #8;
+    int i = 0;
+    while (i < 6) {
+        c[tid] = c[tid] + tid;
+        i += 1;
+    }
+    print(radd(c[tid]));
+}
+`)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+
+	// Oracle: straight through, no checkpointing.
+	var oracle bytes.Buffer
+	if err := run([]string{"-mem", "300:8", prog}, &oracle); err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpointed run: same results, and the file holds the final state.
+	var out bytes.Buffer
+	if err := run([]string{"-mem", "300:8", "-checkpoint", ckpt, "-checkpoint-every", "4", prog}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if oracle.String() != out.String() {
+		t.Fatalf("checkpointing changed output:\noracle:\n%s\ncheckpointed:\n%s", oracle.String(), out.String())
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+
+	// Resume from the last checkpoint: the tail of the run replays and the
+	// complete output (including the part from before the checkpoint, which
+	// is carried in the snapshot) matches the oracle.
+	out.Reset()
+	if err := run([]string{"-mem", "300:8", "-resume", ckpt}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if oracle.String() != out.String() {
+		t.Fatalf("resumed output diverged:\noracle:\n%s\nresumed:\n%s", oracle.String(), out.String())
+	}
+}
+
+// TestResumeFlagErrors: -resume rejects a program argument, a missing file,
+// and a mismatched machine shape.
+func TestResumeFlagErrors(t *testing.T) {
+	prog := write(t, "p.te", "func main() { #4; print(radd(tid)); }")
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	var out bytes.Buffer
+	if err := run([]string{"-checkpoint", ckpt, "-checkpoint-every", "1", prog}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-resume", ckpt, prog}, "no program file"},
+		{[]string{"-resume", filepath.Join(t.TempDir(), "missing.ckpt")}, ""},
+		{[]string{"-resume", ckpt, "-groups", "2"}, "Groups"},
+		{[]string{"-checkpoint", ckpt, "-checkpoint-every", "-3", prog}, "checkpoint-every"},
+	}
+	for i, tc := range cases {
+		var out bytes.Buffer
+		err := run(tc.args, &out)
+		if err == nil {
+			t.Errorf("case %d (%v): expected error", i, tc.args)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("case %d: err %q does not mention %q", i, err, tc.want)
+		}
+	}
+}

@@ -23,6 +23,12 @@
 // Every failure mode maps to a distinct HTTP status: 429 back off, 403
 // quota exceeded, 422 rejected by the tcfvet admission gate, 408 deadline,
 // 409 program fault, 503 draining.
+//
+// With -recover-dir the server becomes crash-recoverable: accepted runs are
+// journaled (write-ahead) and checkpoint their machines every
+// -checkpoint-every steps, so a killed or panicking server restarts, replays
+// the journal, resumes lost runs from their last checkpoint and answers the
+// original X-Request-Id values idempotently.
 package main
 
 import (
@@ -64,7 +70,7 @@ func run(args []string, logw io.Writer, onReady func(addr string)) error {
 	maxProcs := fs.Int("max-procs", 0, "largest ProcsPerGroup a request may ask for (0 = default 16)")
 	poolIdle := fs.Int("pool-idle", 0, "idle machines kept per config shape (0 = slots)")
 	cacheEntries := fs.Int("cache-entries", 0, "compiled-program cache entries (0 = default 256)")
-	watchdog := fs.Int64("watchdog-steps", 0, "no-progress watchdog steps (0 = default 16384)")
+	watchdog := fs.Int64("watchdog-steps", 0, "livelock watchdog window in steps (0 = derive per tenant from the step quota)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "grace for in-flight runs on shutdown before cancellation")
 	maxSteps := fs.Int64("max-steps", 0, "default tenant step quota per run (0 = default 1M)")
 	maxThickness := fs.Int("max-thickness", 0, "default tenant flow-thickness quota (0 = default 64Ki)")
@@ -72,6 +78,8 @@ func run(args []string, logw io.Writer, onReady func(addr string)) error {
 	maxWallClock := fs.Duration("max-wall-clock", 0, "default tenant wall-clock deadline per run (0 = default 5s)")
 	maxSourceBytes := fs.Int("max-source-bytes", 0, "default tenant program-source cap (0 = default 64KiB)")
 	maxInFlight := fs.Int("max-inflight", 0, "default tenant concurrent-run cap (0 = default 4)")
+	recoverDir := fs.String("recover-dir", "", "enable crash recovery: write-ahead run journal and checkpoints live here")
+	ckptEvery := fs.Int64("checkpoint-every", 0, "steps between mid-run machine checkpoints (0 = default 256; needs -recover-dir)")
 	quiet := fs.Bool("quiet", false, "suppress the operational log")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,7 +94,7 @@ func run(args []string, logw io.Writer, onReady func(addr string)) error {
 		logf = func(string, ...any) {}
 	}
 
-	srv := serve.New(serve.Options{
+	opts := serve.Options{
 		MaxConcurrent:  *maxConcurrent,
 		MaxQueue:       *maxQueue,
 		QueueWait:      *queueWait,
@@ -103,8 +111,22 @@ func run(args []string, logw io.Writer, onReady func(addr string)) error {
 			MaxSourceBytes: *maxSourceBytes,
 			MaxInFlight:    *maxInFlight,
 		},
-		Logf: logf,
-	})
+		RecoverDir:           *recoverDir,
+		CheckpointEverySteps: *ckptEvery,
+		Logf:                 logf,
+	}
+	var srv *serve.Server
+	if *recoverDir != "" {
+		// NewRecovered replays the journal and finishes crashed runs before
+		// returning, so by the time we listen every old request id already
+		// has its idempotent answer.
+		var err error
+		if srv, err = serve.NewRecovered(opts); err != nil {
+			return err
+		}
+	} else {
+		srv = serve.New(opts)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -165,5 +168,205 @@ func TestServeFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-addr", "256.256.256.256:99999"}, &buf, nil); err == nil {
 		t.Fatal("unlistenable address accepted")
+	}
+}
+
+// TestMain doubles the test binary as a real tcfserve process for the
+// SIGKILL crash-recovery test: SIGKILL cannot be trapped or forwarded, so
+// the server under test must live in a child process the test can kill for
+// real.
+func TestMain(m *testing.M) {
+	if os.Getenv("TCFSERVE_CRASH_CHILD") == "1" {
+		args := strings.Split(os.Getenv("TCFSERVE_CRASH_ARGS"), "\x1f")
+		if err := run(args, os.Stderr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "tcfserve child:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// startServerProcess re-execs the test binary as a tcfserve child over
+// recoverDir and waits for its listen address on stderr.
+func startServerProcess(t *testing.T, recoverDir string) (*exec.Cmd, string) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-recover-dir", recoverDir,
+		"-checkpoint-every", "4096",
+		"-max-steps", "16777216",
+		"-max-wall-clock", "60s",
+	}
+	cmd := exec.Command(exe, "-test.run=^$")
+	cmd.Env = append(os.Environ(),
+		"TCFSERVE_CRASH_CHILD=1",
+		"TCFSERVE_CRASH_ARGS="+strings.Join(args, "\x1f"))
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, "http://" + addr
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("child server never became ready")
+		return nil, ""
+	}
+}
+
+// crashSrc runs a few seconds: long enough for the parent to observe a
+// checkpoint on disk and SIGKILL the server strictly mid-run, short enough
+// for recovery to finish it promptly. Every iteration commits a shared
+// write, so the watchdog sees progress.
+const crashSrc = `
+shared int beat[1] @ 900;
+func main() {
+	int i = 0;
+	while (i < 300000) {
+		beat[0] = beat[0] + 1;
+		i += 1;
+	}
+	print(beat[0]);
+}
+`
+
+// TestServeSIGKILLCrashRecovery is the crash-recovery acceptance test: a
+// run is mid-flight when the server is SIGKILLed; a second server over the
+// same -recover-dir must replay the journal during startup, resume the run
+// from its last checkpoint, finish it, and answer the original
+// X-Request-Id idempotently.
+func TestServeSIGKILLCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks server processes; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	child, url := startServerProcess(t, dir)
+
+	// Fire the run that will be interrupted.
+	posted := make(chan struct{})
+	go func() {
+		defer close(posted)
+		body, _ := json.Marshal(map[string]any{"name": "doomed", "source": crashSrc})
+		req, err := http.NewRequest("POST", url+"/run", bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("X-Request-Id", "crash-1")
+		req.Header.Set("X-Tenant", "alice")
+		if res, err := http.DefaultClient.Do(req); err == nil {
+			// The SIGKILL should sever this connection; a response here
+			// means the run finished before the kill landed.
+			res.Body.Close()
+		}
+	}()
+
+	// Wait for the run's first durable checkpoint, then pull the plug.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		snaps, err := filepath.Glob(filepath.Join(dir, "ckpt-*.snap"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snaps) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			child.Process.Kill()
+			child.Wait()
+			t.Fatal("no checkpoint appeared; cannot kill mid-run")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := child.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	child.Wait()
+	<-posted
+
+	// Restart over the same directory. NewRecovered finishes the lost run
+	// before the listener comes up, so once we have the address the
+	// recovery already happened.
+	child2, url2 := startServerProcess(t, dir)
+	defer func() {
+		child2.Process.Signal(syscall.SIGTERM)
+		child2.Wait()
+	}()
+
+	res, err := http.Get(url2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Recovery struct {
+			Restores      int64 `json:"restores"`
+			RecoveredRuns int64 `json:"recovered_runs"`
+		} `json:"recovery"`
+	}
+	raw, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Recovery.RecoveredRuns != 1 {
+		t.Fatalf("recovered_runs = %d, want 1\n%s", snap.Recovery.RecoveredRuns, raw)
+	}
+	if snap.Recovery.Restores != 1 {
+		t.Fatalf("restores = %d, want 1 (recovery re-ran from scratch instead of resuming)\n%s", snap.Recovery.Restores, raw)
+	}
+
+	// The original request id answers with the finished run's result.
+	body, _ := json.Marshal(map[string]any{"name": "doomed", "source": crashSrc})
+	req, err := http.NewRequest("POST", url2+"/run", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "crash-1")
+	req.Header.Set("X-Tenant", "alice")
+	res, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || out["outcome"] != "ok" {
+		t.Fatalf("recovered answer: %d %v (%v)", res.StatusCode, out["outcome"], out["error"])
+	}
+	outputs, _ := out["outputs"].([]any)
+	if len(outputs) != 1 {
+		t.Fatalf("recovered outputs: %v", out["outputs"])
+	}
+	values, _ := outputs[0].(map[string]any)["values"].([]any)
+	if len(values) != 1 || values[0].(float64) != 300000 {
+		t.Fatalf("recovered result %v, want [300000]", values)
+	}
+	// The settled run's checkpoint was cleaned up.
+	if snaps, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.snap")); len(snaps) != 0 {
+		t.Fatalf("checkpoints not cleaned up: %v", snaps)
 	}
 }

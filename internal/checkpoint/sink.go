@@ -1,0 +1,82 @@
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FileSink persists each checkpoint atomically to Path: the snapshot is
+// written to a temporary file in the same directory, fsynced, and renamed
+// over Path, so a reader (including a recovering server after SIGKILL) only
+// ever observes either the previous complete snapshot or the new one — never
+// a torn write. Later checkpoints replace earlier ones; Path always holds
+// the latest.
+//
+// The callback signature matches machine.CheckpointSink, keeping this
+// package free of machine imports: the machine hands its Snapshot method to
+// the sink, the sink hands back the destination writer.
+//
+// A FileSink is driven from one run at a time (the step loop is
+// single-threaded); LastStep may be read concurrently.
+type FileSink struct {
+	// Path is the checkpoint file location.
+	Path string
+
+	// OnWrite, when non-nil, is called after each successful checkpoint
+	// write with the step number — the serve layer's metrics hook.
+	OnWrite func(step int64)
+
+	mu   sync.Mutex
+	last int64
+}
+
+// Checkpoint writes one snapshot: snap receives the destination writer and
+// streams the state into it.
+func (s *FileSink) Checkpoint(step int64, snap func(w io.Writer) error) error {
+	dir := filepath.Dir(s.Path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(s.Path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := snap(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: writing snapshot at step %d: %w", step, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.Path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	s.mu.Lock()
+	s.last = step
+	s.mu.Unlock()
+	if s.OnWrite != nil {
+		s.OnWrite(step)
+	}
+	return nil
+}
+
+// LastStep returns the step of the most recent successful checkpoint (0
+// before the first).
+func (s *FileSink) LastStep() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// Remove deletes the checkpoint file, ignoring "does not exist".
+func (s *FileSink) Remove() error {
+	if err := os.Remove(s.Path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

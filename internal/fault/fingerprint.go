@@ -1,0 +1,41 @@
+package fault
+
+import "math"
+
+// Fingerprint returns a structural hash of the plan covering every field
+// that influences a fault decision. Because a Plan is pure — all decisions
+// are functions of these fields plus the query arguments — two plans with
+// equal fingerprints make identical fault decisions at every step, which is
+// exactly the property a machine snapshot needs to validate on restore: the
+// resumed run replays the same faults the interrupted run would have seen.
+// A nil plan fingerprints to 0; non-nil plans never do.
+func (p *Plan) Fingerprint() uint64 {
+	if p == nil {
+		return 0
+	}
+	vs := []int64{
+		p.Seed,
+		int64(math.Float64bits(p.DropRate)),
+		int64(math.Float64bits(p.CorruptRate)),
+		int64(math.Float64bits(p.MemDropRate)),
+		int64(p.RetryTimeout), int64(p.MaxRetries), int64(p.DetourPenalty),
+		int64(len(p.Links)), int64(len(p.Routers)), int64(len(p.Routes)), int64(len(p.Modules)),
+	}
+	for _, l := range p.Links {
+		vs = append(vs, int64(l.Node), int64(l.Dir), l.From, l.To)
+	}
+	for _, r := range p.Routers {
+		vs = append(vs, int64(r.Node), r.From, r.To)
+	}
+	for _, r := range p.Routes {
+		vs = append(vs, int64(r.Group), int64(r.Module), r.From, r.To)
+	}
+	for _, m := range p.Modules {
+		vs = append(vs, int64(m.Module), m.Step)
+	}
+	h := mix(vs...)
+	if h == 0 {
+		h = 1 // reserve 0 for "no plan"
+	}
+	return h
+}

@@ -86,11 +86,15 @@ type Config struct {
 	// execution server. 0 disables the bound.
 	MaxThickness int
 
-	// WatchdogSteps enables the progress watchdog: when no observable
-	// progress (committed memory writes, flow creations/completions,
-	// barriers, outputs) happens for this many consecutive steps while
-	// flows are still live, the run stops with an error wrapping
-	// ErrDeadlock instead of silently spinning to MaxSteps. 0 disables.
+	// WatchdogSteps enables the livelock watchdog: once no observable work
+	// (memory traffic, flow creations/completions, barriers, outputs)
+	// happens for this many consecutive steps, the watchdog starts cycle
+	// detection over the architectural flow state, and a run that provably
+	// revisits an identical state stops with an error wrapping ErrDeadlock
+	// instead of silently spinning to MaxSteps. Quiet computation that
+	// genuinely evolves — register-only arithmetic between two memory
+	// operations, however long — is never killed, so the window trades
+	// only detection latency, not correctness. 0 disables.
 	WatchdogSteps int64
 
 	// MemDiscipline enables the runtime memory-discipline cross-checker:
@@ -132,6 +136,19 @@ type Config struct {
 	// callback runs on the stepping goroutine; observers must not call back
 	// into the machine.
 	StageObserver StageObserver
+
+	// CheckpointEvery, when positive and CheckpointSink is non-nil, makes
+	// RunContext emit a complete machine snapshot (Machine.Snapshot) every
+	// CheckpointEvery steps, at the step boundary. Checkpointing never
+	// changes results: restore-then-run is bit-identical to the
+	// uninterrupted run. Disabled checkpointing costs nothing — the step
+	// loop stays allocation-free. A sink error stops the run.
+	CheckpointEvery int64
+
+	// CheckpointSink receives the periodic snapshots (checkpoint.FileSink
+	// writes them atomically to disk). Like StageObserver, the callback runs
+	// on the stepping goroutine between steps.
+	CheckpointSink CheckpointSink
 }
 
 // StageObserver receives per-step, per-stage cost deltas from the staged
@@ -218,6 +235,9 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.MaxThickness < 0 {
 		return c, fmt.Errorf("machine: negative MaxThickness %d", c.MaxThickness)
+	}
+	if c.CheckpointEvery < 0 {
+		return c, fmt.Errorf("machine: negative CheckpointEvery %d", c.CheckpointEvery)
 	}
 	if c.FaultPlan != nil {
 		if err := c.FaultPlan.Validate(); err != nil {

@@ -261,8 +261,7 @@ func (m *Machine) RunContext(ctx context.Context) (*Stats, error) {
 			return nil, err
 		}
 	}
-	var lastProgress int64 = -1
-	var lastProgressStep int64
+	wd := newWatchdog(m.cfg.WatchdogSteps)
 	for !m.Done() {
 		if err := ctx.Err(); err != nil {
 			m.runErr = fmt.Errorf("machine: %w after %d steps: %v", ErrCanceled, m.stats.Steps, err)
@@ -272,38 +271,44 @@ func (m *Machine) RunContext(ctx context.Context) (*Stats, error) {
 			m.runErr = fmt.Errorf("machine: exceeded MaxSteps=%d (livelock?): %w", m.cfg.MaxSteps, ErrMaxSteps)
 			break
 		}
-		if w := m.cfg.WatchdogSteps; w > 0 {
-			if p := m.progressMark(); p != lastProgress {
-				lastProgress, lastProgressStep = p, m.stats.Steps
-			} else if m.stats.Steps-lastProgressStep >= w {
-				m.runErr = fmt.Errorf("machine: watchdog: no observable progress in %d steps (silent livelock): %w", w, ErrDeadlock)
-				break
-			}
+		if wd.window > 0 && wd.observe(m) {
+			m.runErr = fmt.Errorf("machine: watchdog: state cycle with no observable work over %d+ steps (silent livelock): %w", wd.window, ErrDeadlock)
+			break
 		}
 		if err := m.Step(); err != nil {
 			m.runErr = err
 			break
 		}
+		// Periodic checkpointing (Config.CheckpointEvery): the snapshot is
+		// taken here, at the step boundary, where the machine state is
+		// well-defined. The trigger lives in RunContext rather than Step so
+		// the direct step loop stays allocation-free when disabled.
+		if every := m.cfg.CheckpointEvery; every > 0 && m.cfg.CheckpointSink != nil && m.stats.Steps%every == 0 {
+			if err := m.cfg.CheckpointSink.Checkpoint(m.stats.Steps, m.Snapshot); err != nil {
+				m.runErr = fmt.Errorf("machine: checkpoint at step %d: %w", m.stats.Steps, err)
+				break
+			}
+		}
 	}
 	return &m.stats, m.runErr
 }
 
-// progressMark summarizes the observable progress of the run: committed
-// memory traffic, flow population changes, control-flow advancement,
-// barriers and outputs. A step that changes none of these brought the
-// computation no closer to termination. A self-jump leaves every term
-// unchanged, so the watchdog catches it; a loop that branches moves the PC
-// sum and is (conservatively) treated as progress.
+// progressMark summarizes the observable work of the run: memory traffic
+// (issued and committed references, local reads and writes), flow
+// population events (splits, joins, creations), barriers and outputs.
+// Every term is monotone, so the mark is constant over a stretch of steps
+// exactly when the machine did no observable work in that stretch. Quiet is
+// not itself livelock — register-only computation is quiet too — so the
+// watchdog treats a quiet stretch only as the trigger to start cycle
+// detection (watchdog.go). Spin-waiting on shared or local memory still
+// counts as work (the reads are issued traffic), so lockstep polling
+// patterns never even reach the detector.
 func (m *Machine) progressMark() int64 {
 	_, committed, issued := m.shared.Stats()
-	mark := committed + issued + m.stats.LocalWrites + m.stats.FlowsCreated +
-		m.stats.Joins + m.stats.Barriers + int64(m.liveFlows()) + int64(len(m.output))
-	for _, f := range m.flows {
-		if f.State != tcf.Done {
-			mark += int64(f.PC)
-		}
-	}
-	return mark
+	return committed + issued +
+		m.stats.LocalReads + m.stats.LocalWrites +
+		m.stats.FlowsCreated + m.stats.Splits + m.stats.Joins +
+		m.stats.Barriers + int64(len(m.output))
 }
 
 // failf records a runtime error and stops the machine.

@@ -46,6 +46,12 @@ func (m *Machine) Reset() {
 	m.runErr = nil
 	m.stepRec = nil
 	m.trace = nil
+
+	// Checkpoint wiring is per-run state stamped through SetCheckpointing
+	// (the sink typically points at a per-run file), so a recycled machine
+	// must not keep writing to the previous run's checkpoint.
+	m.cfg.CheckpointEvery = 0
+	m.cfg.CheckpointSink = nil
 }
 
 // reset empties the storage buffer and rewinds its rotation, keeping the
@@ -75,5 +81,23 @@ func (m *Machine) SetLimits(maxSteps int64, maxThickness int) error {
 	}
 	m.cfg.MaxSteps = maxSteps
 	m.cfg.MaxThickness = maxThickness
+	return nil
+}
+
+// SetCheckpointing wires (or clears) periodic checkpointing on the machine
+// without rebuilding it — the serve layer stamps each recoverable run's
+// checkpoint file onto a pooled machine this way, mirroring SetLimits.
+// Checkpointing is active only when every > 0 and sink is non-nil; Reset
+// clears the wiring. Like SetLimits, it may only change while no flows
+// exist (before Boot, or right after Reset).
+func (m *Machine) SetCheckpointing(every int64, sink CheckpointSink) error {
+	if len(m.flows) != 0 {
+		return fmt.Errorf("machine: SetCheckpointing on a booted machine")
+	}
+	if every < 0 {
+		return fmt.Errorf("machine: negative CheckpointEvery %d", every)
+	}
+	m.cfg.CheckpointEvery = every
+	m.cfg.CheckpointSink = sink
 	return nil
 }

@@ -1,0 +1,94 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"tcfpram/internal/isa"
+	"tcfpram/internal/variant"
+)
+
+// panicObserver panics from inside Step once the machine reaches step at —
+// the deepest injectable seam, so the panic unwinds out of a step with live
+// flows, populated storage buffers and mid-run statistics still in place.
+type panicObserver struct {
+	at    int64
+	armed bool
+}
+
+func (p *panicObserver) ObserveStage(step int64, stage Stage, d StageStats) {
+	if p.armed && step >= p.at {
+		panic("injected mid-step panic")
+	}
+}
+
+// TestResetAfterMidStepPanic: a machine abandoned by a panic in the middle
+// of a run — the state the serve layer recovers from — must come back from
+// Reset bit-identical to a fresh build: same outputs, same memory image,
+// same Stats on the next run. This is the property that would let a pool
+// Release a panicked machine instead of discarding it.
+func TestResetAfterMidStepPanic(t *testing.T) {
+	for name, src := range resetPrograms {
+		t.Run(name, func(t *testing.T) {
+			prog := isa.MustAssemble(name, src)
+			for _, kind := range []variant.Kind{variant.SingleInstruction, variant.Balanced, variant.MultiInstruction} {
+				// Oracle: an uninterrupted run on a fresh machine. The
+				// observer hangs on the config disarmed so the victim's
+				// configuration is identical.
+				obs := &panicObserver{}
+				cfg := Default(kind)
+				cfg.StageObserver = obs
+				oracle, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := oracle.LoadProgram(prog); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := oracle.Run(); err != nil {
+					t.Fatalf("%v oracle: %v", kind, err)
+				}
+				want := snapshotOf(oracle)
+				total := oracle.Stats().Steps
+
+				stride := total / 4
+				if stride < 1 {
+					stride = 1
+				}
+				for kill := int64(0); kill < total; kill += stride {
+					m, err := New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := m.LoadProgram(prog); err != nil {
+						t.Fatal(err)
+					}
+					obs.at, obs.armed = kill, true
+					panicked := func() (p bool) {
+						defer func() { p = recover() != nil }()
+						_, _ = m.Run()
+						return false
+					}()
+					obs.armed = false
+					if !panicked {
+						t.Fatalf("%v kill=%d: injected panic never fired", kind, kill)
+					}
+
+					// The serve layer recovers the panic; Reset must scrub
+					// every trace of the interrupted run.
+					m.Reset()
+					if err := m.LoadProgram(prog); err != nil {
+						t.Fatalf("%v kill=%d: reload after reset: %v", kind, kill, err)
+					}
+					if _, err := m.Run(); err != nil {
+						t.Fatalf("%v kill=%d: rerun after reset: %v", kind, kill, err)
+					}
+					if got := snapshotOf(m); !reflect.DeepEqual(got, want) {
+						t.Fatalf("%v kill=%d: post-panic Reset is not bit-identical\ngot  %+v\nwant %+v",
+							kind, kill, got.stats, want.stats)
+					}
+				}
+			}
+		})
+	}
+}

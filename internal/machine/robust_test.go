@@ -43,10 +43,65 @@ func TestWatchdogCatchesSilentLivelock(t *testing.T) {
 
 func TestWatchdogTolleratesRealProgress(t *testing.T) {
 	// A working program whose run is longer than the watchdog window must
-	// not be killed: every step makes observable progress.
+	// not be killed, even with a window far smaller than the run.
 	m := mustRun(t, variant.SingleInstruction, vectorAddSrc,
 		func(c *Config) { c.WatchdogSteps = 2 })
 	checkVectorAdd(t, m)
+}
+
+func TestWatchdogCatchesEmptyLoop(t *testing.T) {
+	// The shape `while (1) { }` compiles to: materialize the condition,
+	// branch on it, jump back. It rewrites the same register with the same
+	// constant every iteration — no memory traffic, no flow events — so
+	// only state-cycle detection can tell it from real computation.
+	src := `
+loop:
+    LDI S1, 1
+    BEQZ S1, done
+    JMP loop
+done:
+    HALT
+`
+	m, err := runSrc(t, variant.SingleInstruction, src, func(c *Config) {
+		c.WatchdogSteps = 64
+		c.MaxSteps = 1 << 20
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock from the watchdog, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "watchdog") {
+		t.Fatalf("error should name the watchdog: %v", err)
+	}
+	if s := m.Stats().Steps; s >= 1<<12 {
+		t.Fatalf("period-3 cycle took %d steps to catch; detection is broken", s)
+	}
+}
+
+func TestWatchdogTolleratesRegisterOnlyCompute(t *testing.T) {
+	// A long register-only computation is exactly as quiet as a livelock —
+	// no memory traffic for tens of thousands of steps — but its state
+	// never repeats. The watchdog must let it run to completion even with
+	// a window far smaller than the quiet stretch.
+	src := `
+.data 300: 0
+main:
+    LDI S1, 20000
+    LDI S2, 1
+loop:
+    BEQZ S1, done
+    SUB S1, S1, S2
+    JMP loop
+done:
+    ST S2+300, S2
+    HALT
+`
+	m := mustRun(t, variant.SingleInstruction, src, func(c *Config) {
+		c.WatchdogSteps = 64
+		c.MaxSteps = 1 << 20
+	})
+	if s := m.Stats().Steps; s < 20000 {
+		t.Fatalf("countdown finished after only %d steps; it never ran", s)
+	}
 }
 
 func TestMissingJoinDeadlockMessage(t *testing.T) {

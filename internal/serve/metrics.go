@@ -25,9 +25,22 @@ type metrics struct {
 	runtimeFault atomic.Int64 // deadlock, discipline violation, machine fault
 	panics       atomic.Int64 // isolated request panics
 
+	duplicate atomic.Int64 // request id already in flight (recovery mode)
+	internal  atomic.Int64 // server-side failures (journal unavailable, ...)
+
 	steps       atomic.Int64 // machine steps executed, all runs
 	cycles      atomic.Int64 // simulated cycles, all runs
 	stageCycles [machine.NumStages]atomic.Int64
+
+	// Run-time accounting behind the derived Retry-After hint.
+	runNanos     atomic.Int64 // summed wall clock of measured runs
+	runsMeasured atomic.Int64
+
+	// Crash-recovery counters (recovery mode only).
+	checkpoints atomic.Int64 // machine snapshots written mid-run
+	restores    atomic.Int64 // machines restored from a checkpoint file
+	recovered   atomic.Int64 // journal-replayed runs finished at startup
+	replayed    atomic.Int64 // idempotent answers served from the memo
 }
 
 // count records one finished request under its outcome string.
@@ -57,6 +70,10 @@ func (m *metrics) count(outcome string) {
 		m.runtimeFault.Add(1)
 	case outcomePanic:
 		m.panics.Add(1)
+	case outcomeDuplicate:
+		m.duplicate.Add(1)
+	case outcomeInternal:
+		m.internal.Add(1)
 	}
 }
 
@@ -86,8 +103,22 @@ type MetricsSnapshot struct {
 	Cycles      int64            `json:"cycles"`
 	StageCycles map[string]int64 `json:"stage_cycles"`
 
-	Pool  PoolCounters  `json:"pool"`
-	Cache CacheCounters `json:"cache"`
+	Pool     PoolCounters     `json:"pool"`
+	Cache    CacheCounters    `json:"cache"`
+	Recovery RecoveryCounters `json:"recovery"`
+}
+
+// RecoveryCounters is the crash-recovery section of /metrics.
+type RecoveryCounters struct {
+	// CheckpointsWritten counts mid-run machine snapshots.
+	CheckpointsWritten int64 `json:"checkpoints_written"`
+	// Restores counts machines rebuilt from a checkpoint file.
+	Restores int64 `json:"restores"`
+	// RecoveredRuns counts journal-replayed runs finished at startup.
+	RecoveredRuns int64 `json:"recovered_runs"`
+	// ReplayedResponses counts idempotent answers served for request ids
+	// that had already finished.
+	ReplayedResponses int64 `json:"replayed_responses"`
 }
 
 // Metrics returns a point-in-time snapshot of the server's counters.
@@ -111,12 +142,20 @@ func (s *Server) Metrics() MetricsSnapshot {
 			outcomeDeadline:     m.deadline.Load(),
 			outcomeRuntimeFault: m.runtimeFault.Load(),
 			outcomePanic:        m.panics.Load(),
+			outcomeDuplicate:    m.duplicate.Load(),
+			outcomeInternal:     m.internal.Load(),
 		},
 		Steps:       m.steps.Load(),
 		Cycles:      m.cycles.Load(),
 		StageCycles: make(map[string]int64, machine.NumStages),
 		Pool:        s.pool.Counters(),
 		Cache:       s.cache.Counters(),
+		Recovery: RecoveryCounters{
+			CheckpointsWritten: m.checkpoints.Load(),
+			Restores:           m.restores.Load(),
+			RecoveredRuns:      m.recovered.Load(),
+			ReplayedResponses:  m.replayed.Load(),
+		},
 	}
 	for i := range m.stageCycles {
 		snap.StageCycles[machine.Stage(i).String()] = m.stageCycles[i].Load()

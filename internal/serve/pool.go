@@ -36,8 +36,8 @@ type poolKey struct {
 // non-comparable or run-specific state (custom topology, fault plans, stage
 // observers, tracing) are not poolable.
 func keyOf(cfg machine.Config) (poolKey, error) {
-	if cfg.Topology != nil || cfg.FaultPlan != nil || cfg.StageObserver != nil || cfg.TraceEnabled {
-		return poolKey{}, fmt.Errorf("serve: config with topology/faults/observer/trace is not poolable")
+	if cfg.Topology != nil || cfg.FaultPlan != nil || cfg.StageObserver != nil || cfg.TraceEnabled || cfg.CheckpointSink != nil {
+		return poolKey{}, fmt.Errorf("serve: config with topology/faults/observer/trace/checkpointing is not poolable")
 	}
 	return poolKey{
 		variant:       cfg.Variant,

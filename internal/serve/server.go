@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tcfpram/internal/checkpoint"
 	"tcfpram/internal/diag"
 	"tcfpram/internal/machine"
 	"tcfpram/internal/mem"
@@ -50,6 +51,8 @@ const (
 	outcomeDeadline     = "deadline"
 	outcomeRuntimeFault = "runtime-fault"
 	outcomePanic        = "panic"
+	outcomeDuplicate    = "duplicate"
+	outcomeInternal     = "internal"
 )
 
 // Limits is one tenant's resource envelope. Zero fields take the server
@@ -119,7 +122,9 @@ type Options struct {
 	MaxGroups int
 	MaxProcs  int
 	// WatchdogSteps is the no-progress deadlock watchdog stamped on every
-	// machine (default 1<<14; deadlocked programs fail fast with 409).
+	// machine. 0 (the default) derives the bound per tenant from its
+	// MaxSteps quota — see watchdogFor — so livelocked programs are killed
+	// by the watchdog long before they burn the whole wall-clock deadline.
 	WatchdogSteps int64
 	// PoolIdlePerKey bounds idle machines kept per config shape
 	// (default MaxConcurrent).
@@ -131,6 +136,15 @@ type Options struct {
 	// the built-in defaults.
 	DefaultLimits Limits
 	Tenants       map[string]Limits
+	// RecoverDir enables crash recovery (NewRecovered only): the
+	// write-ahead run journal and per-run machine checkpoints live here.
+	// After a crash, NewRecovered replays the journal, resumes lost runs
+	// from their last checkpoint (re-executes from scratch when none was
+	// written yet) and answers the original request ids idempotently.
+	RecoverDir string
+	// CheckpointEverySteps is how often a recoverable run snapshots its
+	// machine (default 256 steps; only meaningful with RecoverDir).
+	CheckpointEverySteps int64
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -151,8 +165,8 @@ func (o Options) normalized() Options {
 	if o.MaxProcs <= 0 {
 		o.MaxProcs = 16
 	}
-	if o.WatchdogSteps <= 0 {
-		o.WatchdogSteps = 1 << 14
+	if o.CheckpointEverySteps <= 0 {
+		o.CheckpointEverySteps = 256
 	}
 	if o.PoolIdlePerKey <= 0 {
 		o.PoolIdlePerKey = o.MaxConcurrent
@@ -191,6 +205,12 @@ type Server struct {
 
 	metrics metrics
 
+	// Crash-recovery state (NewRecovered only; nil journal = disabled).
+	journal     *runJournal
+	idMu        sync.Mutex
+	inflightIDs map[string]struct{}
+	completed   map[string]completedRun
+
 	// hookLoaded, when set, runs after a program is loaded onto the leased
 	// machine and before the run — the test seam for panic isolation.
 	hookLoaded func(tenant, name string)
@@ -200,20 +220,44 @@ type tenantState struct {
 	inflight atomic.Int64
 }
 
-// New builds a Server from opts.
+// New builds a Server from opts. Crash recovery (Options.RecoverDir) needs a
+// constructor that can fail and block on journal replay — use NewRecovered
+// for that; New ignores RecoverDir.
 func New(opts Options) *Server {
 	o := opts.normalized()
+	o.RecoverDir = ""
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		opts:       o,
-		pool:       NewMachinePool(o.PoolIdlePerKey),
-		cache:      NewProgramCache(o.CacheEntries),
-		slots:      make(chan struct{}, o.MaxConcurrent),
-		drainCh:    make(chan struct{}),
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		tenants:    make(map[string]*tenantState),
+		opts:        o,
+		pool:        NewMachinePool(o.PoolIdlePerKey),
+		cache:       NewProgramCache(o.CacheEntries),
+		slots:       make(chan struct{}, o.MaxConcurrent),
+		drainCh:     make(chan struct{}),
+		baseCtx:     ctx,
+		baseCancel:  cancel,
+		tenants:     make(map[string]*tenantState),
+		inflightIDs: make(map[string]struct{}),
+		completed:   make(map[string]completedRun),
 	}
+}
+
+// NewRecovered is New with crash recovery: it opens the write-ahead run
+// journal in opts.RecoverDir, replays it, synchronously finishes every run a
+// previous process lost (resuming from the last checkpoint when one exists)
+// and memoizes finished answers so the original request ids are served
+// idempotently. It returns once recovery is complete, so the caller can
+// start listening on a server with no half-finished state.
+func NewRecovered(opts Options) (*Server, error) {
+	if opts.RecoverDir == "" {
+		return nil, fmt.Errorf("serve: NewRecovered needs Options.RecoverDir")
+	}
+	dir := opts.RecoverDir
+	s := New(opts)
+	s.opts.RecoverDir = dir
+	if err := s.initRecovery(); err != nil {
+		return nil, fmt.Errorf("serve: recovery in %s: %w", dir, err)
+	}
+	return s, nil
 }
 
 // Handler returns the server's HTTP routes: POST /run, GET /metrics,
@@ -254,6 +298,9 @@ func (s *Server) Drain(timeout time.Duration) {
 	}
 	s.baseCancel()
 	s.pool.Close()
+	if s.journal != nil {
+		s.journal.Close()
+	}
 
 	snap, _ := json.Marshal(s.Metrics())
 	s.opts.Logf("serve: drained; final stats %s", snap)
@@ -351,6 +398,31 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	lim := s.limitsFor(tenantName)
 
+	// Request identity (recovery mode only): echo the id — generated when
+	// the client sent none — so clients can re-ask for their result after a
+	// server crash. A finished id replays its memoized answer; an id still
+	// in flight (here or on another connection) is refused, not re-run.
+	var runID string
+	if s.journal != nil {
+		runID = r.Header.Get("X-Request-Id")
+		if runID == "" {
+			runID = newRunID()
+		}
+		w.Header().Set("X-Request-Id", runID)
+		if done, ok := s.completedResponse(runID); ok {
+			s.metrics.replayed.Add(1)
+			writeJSON(w, done.status, done.resp)
+			return
+		}
+		if !s.beginRun(runID) {
+			s.setRetryAfter(w)
+			s.reject(w, http.StatusConflict, outcomeDuplicate,
+				fmt.Sprintf("request id %q is already in flight", runID), tenantName)
+			return
+		}
+		defer s.endRun(runID)
+	}
+
 	// Decode under a size cap; the JSON envelope gets slack beyond the
 	// source cap for escaping and the other fields.
 	r.Body = http.MaxBytesReader(w, r.Body, 2*int64(lim.MaxSourceBytes)+4096)
@@ -378,7 +450,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	t := s.tenant(tenantName)
 	if n := t.inflight.Add(1); n > int64(lim.MaxInFlight) {
 		t.inflight.Add(-1)
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w)
 		s.reject(w, http.StatusTooManyRequests, outcomeTenantBusy,
 			fmt.Sprintf("tenant %q already has %d runs in flight", tenantName, lim.MaxInFlight), tenantName)
 		return
@@ -389,7 +461,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// MaxQueue waiters, or past QueueWait, the request is shed.
 	if q := s.queued.Add(1); q > int64(s.opts.MaxQueue) {
 		s.queued.Add(-1)
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w)
 		s.reject(w, http.StatusTooManyRequests, outcomeShed, "admission queue full", tenantName)
 		return
 	}
@@ -399,7 +471,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	case s.slots <- struct{}{}:
 	case <-queueTimer.C:
 		s.queued.Add(-1)
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w)
 		s.reject(w, http.StatusTooManyRequests, outcomeShed, "no run slot within the queue wait", tenantName)
 		return
 	case <-s.drainCh:
@@ -419,33 +491,60 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}()
 	s.metrics.admitted.Add(1)
 
-	resp, status := s.runAdmitted(r.Context(), &req, tenantName, lim)
+	// Write-ahead: the accepted request hits the journal before the run
+	// starts, so a crash anywhere past this point is recoverable.
+	if s.journal != nil {
+		err := s.journal.append(&journalRecord{
+			Kind: "accept", ID: runID, Tenant: tenantName,
+			SrcHash: hashSource(req.Source), Ckpt: s.ckptPath(runID), Req: &req,
+		})
+		if err != nil {
+			s.opts.Logf("serve: journaling accept for %s: %v", runID, err)
+			s.reject(w, http.StatusInternalServerError, outcomeInternal, "run journal unavailable", tenantName)
+			return
+		}
+	}
+
+	resp, status := s.runAdmitted(r.Context(), &req, tenantName, lim, runID)
 	resp.Tenant = tenantName
 	s.metrics.count(resp.Outcome)
+	if s.journal != nil {
+		s.finishRun(runID, status, resp)
+	}
 	writeJSON(w, status, resp)
 }
 
-// runAdmitted handles the post-admission pipeline: vet gate, config
-// validation, pooled execution.
-func (s *Server) runAdmitted(reqCtx context.Context, req *runRequest, tenantName string, lim Limits) (*runResponse, int) {
-	vk := variant.SingleInstruction
+// parseRunOptions resolves a request's variant and discipline selections.
+// The vet gate defaults to CREW — the analyzer's own default — while the
+// runtime cross-checker stays off unless asked for.
+func parseRunOptions(req *runRequest) (vk variant.Kind, vetDisc, runDisc mem.Discipline, errResp *runResponse, status int) {
+	vk = variant.SingleInstruction
 	if req.Variant != "" {
 		k, err := variant.ParseKind(req.Variant)
 		if err != nil {
-			return &runResponse{Outcome: outcomeBadRequest, Error: err.Error()}, http.StatusBadRequest
+			return vk, 0, 0, &runResponse{Outcome: outcomeBadRequest, Error: err.Error()}, http.StatusBadRequest
 		}
 		vk = k
 	}
-	// The vet gate defaults to CREW — the analyzer's own default — while
-	// the runtime cross-checker stays off unless asked for.
-	vetDisc := mem.DisciplineCREW
-	runDisc := mem.DisciplineOff
+	vetDisc = mem.DisciplineCREW
+	runDisc = mem.DisciplineOff
 	if req.Discipline != "" {
 		d, err := mem.ParseDiscipline(req.Discipline)
 		if err != nil {
-			return &runResponse{Outcome: outcomeBadRequest, Error: err.Error()}, http.StatusBadRequest
+			return vk, 0, 0, &runResponse{Outcome: outcomeBadRequest, Error: err.Error()}, http.StatusBadRequest
 		}
 		vetDisc, runDisc = d, d
+	}
+	return vk, vetDisc, runDisc, nil, 0
+}
+
+// runAdmitted handles the post-admission pipeline: vet gate, config
+// validation, pooled execution. runID is non-empty only in recovery mode,
+// where it names the run's checkpoint file.
+func (s *Server) runAdmitted(reqCtx context.Context, req *runRequest, tenantName string, lim Limits, runID string) (*runResponse, int) {
+	vk, vetDisc, runDisc, errResp, status := parseRunOptions(req)
+	if errResp != nil {
+		return errResp, status
 	}
 
 	// Vet gate + single-flight compile, both memoized.
@@ -474,7 +573,7 @@ func (s *Server) runAdmitted(reqCtx context.Context, req *runRequest, tenantName
 	if err != nil {
 		return &runResponse{Outcome: outcomeBadRequest, Error: err.Error()}, http.StatusBadRequest
 	}
-	return s.execute(reqCtx, lease, entry, req, tenantName, lim, diag.Render(entry.diags))
+	return s.execute(reqCtx, lease, entry, req, tenantName, lim, diag.Render(entry.diags), runID)
 }
 
 // buildConfig validates the requested machine shape against the server caps
@@ -512,15 +611,35 @@ func (s *Server) buildConfig(req *runRequest, vk variant.Kind, runDisc mem.Disci
 	}
 	cfg.MemDiscipline = runDisc
 	cfg.WatchdogSteps = s.opts.WatchdogSteps
+	if cfg.WatchdogSteps <= 0 {
+		cfg.WatchdogSteps = watchdogFor(lim.MaxSteps)
+	}
 	cfg.MaxSteps = lim.MaxSteps
 	cfg.MaxThickness = lim.MaxThickness
 	return cfg, nil, 0
 }
 
+// watchdogFor derives the no-progress watchdog bound from a tenant's step
+// quota: a fraction of MaxSteps so silent livelock dies well before the
+// quota, floored so legitimately quiet stretches (long memory stalls,
+// combining phases) survive, and capped so huge quotas don't disable it.
+func watchdogFor(maxSteps int64) int64 {
+	w := maxSteps / 8
+	if w < 256 {
+		w = 256
+	}
+	if w > 1<<14 {
+		w = 1 << 14
+	}
+	return w
+}
+
 // execute runs the compiled program on the leased machine under the
 // tenant's limits. Panics are contained here: the lease is discarded (its
-// machine state can't be trusted) and the client gets a 500.
-func (s *Server) execute(reqCtx context.Context, lease *Lease, entry *cacheEntry, req *runRequest, tenantName string, lim Limits, diags string) (resp *runResponse, status int) {
+// machine state can't be trusted) and the client gets a 500. In recovery
+// mode (runID non-empty) the machine checkpoints itself periodically so a
+// process crash can resume the run instead of losing it.
+func (s *Server) execute(reqCtx context.Context, lease *Lease, entry *cacheEntry, req *runRequest, tenantName string, lim Limits, diags string, runID string) (resp *runResponse, status int) {
 	defer func() {
 		if p := recover(); p != nil {
 			lease.Discard()
@@ -534,6 +653,19 @@ func (s *Server) execute(reqCtx context.Context, lease *Lease, entry *cacheEntry
 	if err := m.SetLimits(lim.MaxSteps, lim.MaxThickness); err != nil {
 		lease.Discard()
 		return &runResponse{Outcome: outcomeRuntimeFault, Error: err.Error()}, http.StatusConflict
+	}
+	if s.journal != nil && runID != "" {
+		sink := &checkpoint.FileSink{
+			Path:    s.ckptPath(runID),
+			OnWrite: func(int64) { s.metrics.checkpoints.Add(1) },
+		}
+		if err := m.SetCheckpointing(s.opts.CheckpointEverySteps, sink); err != nil {
+			lease.Discard()
+			return &runResponse{Outcome: outcomeInternal, Error: err.Error()}, http.StatusInternalServerError
+		}
+		// The checkpoint only matters if this process dies mid-run; once
+		// execute returns, finishRun journals the answer and deletes it.
+		// (Release → Reset clears the wiring before the machine is pooled.)
 	}
 	if err := m.LoadProgram(entry.compiled.Program); err != nil {
 		lease.Discard()
@@ -563,6 +695,8 @@ func (s *Server) execute(reqCtx context.Context, lease *Lease, entry *cacheEntry
 	stats, runErr := m.RunContext(ctx)
 	wall := time.Since(start)
 	s.metrics.observe(stats)
+	s.metrics.runNanos.Add(wall.Nanoseconds())
+	s.metrics.runsMeasured.Add(1)
 
 	if runErr != nil {
 		lease.Release()
@@ -575,14 +709,21 @@ func (s *Server) execute(reqCtx context.Context, lease *Lease, entry *cacheEntry
 		}, code
 	}
 
-	resp = &runResponse{
+	resp = s.okResponse(m, stats, req, lease.Pooled, wall, diags)
+	lease.Release()
+	return resp, http.StatusOK
+}
+
+// okResponse assembles the successful /run reply from a finished machine.
+func (s *Server) okResponse(m *machine.Machine, stats *machine.Stats, req *runRequest, pooled bool, wall time.Duration, diags string) *runResponse {
+	resp := &runResponse{
 		Outcome:      outcomeOK,
 		Diagnostics:  diags, // warnings from the vet gate, if any
 		Steps:        stats.Steps,
 		Cycles:       stats.Cycles,
 		StageCycles:  make(map[string]int64, machine.NumStages),
 		CachedProg:   true, // single-flight: every response came through the cache
-		PooledMach:   lease.Pooled,
+		PooledMach:   pooled,
 		WallClock:    wall.String(),
 		SharedReads:  stats.SharedReads,
 		SharedWrites: stats.SharedWrites,
@@ -600,8 +741,7 @@ func (s *Server) execute(reqCtx context.Context, lease *Lease, entry *cacheEntry
 	for _, p := range req.Peek {
 		resp.Memory = append(resp.Memory, peekResult{Addr: p.Addr, Values: m.Shared().Snapshot(p.Addr, p.N)})
 	}
-	lease.Release()
-	return resp, http.StatusOK
+	return resp
 }
 
 // mapRunError translates the machine's error taxonomy into an outcome and
@@ -622,6 +762,35 @@ func mapRunError(err error, baseCtx context.Context) (string, int) {
 		// plain program faults.
 		return outcomeRuntimeFault, http.StatusConflict
 	}
+}
+
+// retryAfterSecs derives the back-off hint from the current backlog and the
+// recent mean run time: with Q requests queued, R running and C slots, a new
+// arrival waits roughly (Q+R+1)·mean/C seconds for a slot. The hint is
+// monotone in the backlog, floored at 1s and capped at 60s; before any run
+// has finished, a conservative default mean is used.
+func (s *Server) retryAfterSecs() int {
+	mean := 500 * time.Millisecond
+	if n := s.metrics.runsMeasured.Load(); n > 0 {
+		mean = time.Duration(s.metrics.runNanos.Load() / n)
+		if mean < time.Millisecond {
+			mean = time.Millisecond
+		}
+	}
+	backlog := s.queued.Load() + s.running.Load() + 1
+	wait := time.Duration(backlog) * mean / time.Duration(s.opts.MaxConcurrent)
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
 }
 
 func (s *Server) reject(w http.ResponseWriter, status int, outcome, msg, tenant string) {

@@ -257,6 +257,49 @@ func (f *Flow) Ret() (int, bool) {
 	return pc, true
 }
 
+// StateDigest returns a 64-bit mixture of the flow's complete architectural
+// state: control (PC, mode, lifecycle, call stack), shape (thickness, bunch,
+// fragment geometry), split bookkeeping and every register value. Two calls
+// return the same digest exactly when the flow is in the same architectural
+// state, up to 64-bit mixing collisions. The machine watchdog compares
+// digests across steps to prove a state cycle — the definition of livelock —
+// without ever misjudging computation that only evolves registers.
+func (f *Flow) StateDigest() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h = (h ^ v) * prime
+	}
+	mix(uint64(f.ID))
+	mix(uint64(f.PC))
+	mix(uint64(f.Mode))
+	mix(uint64(f.Thickness))
+	mix(uint64(f.Bunch))
+	mix(uint64(f.State))
+	mix(uint64(int64(f.LiveChildren)))
+	mix(uint64(int64(f.ResumePC)))
+	mix(uint64(f.Offset))
+	mix(uint64(f.TidOffset))
+	mix(uint64(f.TotalThickness))
+	if f.IsFragment {
+		mix(1)
+	}
+	for _, v := range f.scalars {
+		mix(uint64(v))
+	}
+	for r := range f.vectors {
+		for _, v := range f.vectors[r] {
+			mix(uint64(v))
+		}
+		mix(uint64(len(f.vectors[r])))
+	}
+	for _, pc := range f.CallStack {
+		mix(uint64(pc))
+	}
+	mix(uint64(len(f.CallStack)))
+	return h
+}
+
 // RegWords returns the current register-file words held by the flow.
 func (f *Flow) RegWords() int64 {
 	n := int64(isa.NumSRegs)

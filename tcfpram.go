@@ -31,8 +31,10 @@ package tcfpram
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"tcfpram/internal/analysis"
+	"tcfpram/internal/checkpoint"
 	"tcfpram/internal/codegen"
 	"tcfpram/internal/diag"
 	"tcfpram/internal/fault"
@@ -279,6 +281,44 @@ func (m *Machine) Reset() {
 // maxThickness 0 disables the thickness quota.
 func (m *Machine) SetLimits(maxSteps int64, maxThickness int) error {
 	return m.inner.SetLimits(maxSteps, maxThickness)
+}
+
+// CheckpointSink receives periodic machine snapshots from a checkpointing
+// run (Config.CheckpointEvery / SetCheckpointing).
+type CheckpointSink = machine.CheckpointSink
+
+// FileCheckpointSink is a CheckpointSink writing each snapshot atomically
+// (temp file + fsync + rename) to a fixed path; the file always holds the
+// latest complete checkpoint. Zero value is not usable — set Path.
+type FileCheckpointSink = checkpoint.FileSink
+
+// Snapshot serializes the complete machine state — program, memories, flows,
+// storage buffers, statistics and accumulated output — as a versioned,
+// checksummed binary stream. Snapshots are only well-defined at step
+// boundaries (between Step calls, or after Run returns); a machine stopped
+// by a runtime error refuses to snapshot.
+func (m *Machine) Snapshot(w io.Writer) error { return m.inner.Snapshot(w) }
+
+// SetCheckpointing wires periodic checkpointing onto an un-booted or freshly
+// Reset machine: every `every` steps the sink receives a complete snapshot.
+// every=0 (or a nil sink) disables. Checkpointing never changes results.
+func (m *Machine) SetCheckpointing(every int64, sink CheckpointSink) error {
+	return m.inner.SetCheckpointing(every, sink)
+}
+
+// RestoreMachine rebuilds a machine from a Snapshot stream and the same
+// behavior-relevant Config the snapshot was taken with (mismatches are
+// rejected with an error naming the field). The program is embedded in the
+// snapshot, so the restored machine is immediately runnable — Run continues
+// from the checkpointed step and is bit-identical to the uninterrupted run.
+// Source-level symbol lookups (Array, Global) are unavailable on a restored
+// machine; raw Words access works as usual.
+func RestoreMachine(r io.Reader, cfg Config) (*Machine, error) {
+	inner, err := machine.Restore(r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{inner: inner}, nil
 }
 
 // Run executes the program to completion and returns the statistics.
