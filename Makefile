@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchall table figures net examples fuzz lint vet serve serve-test clean
+.PHONY: all build test race bench bench-compare benchall table figures net examples fuzz lint vet serve serve-test clean
 
 # Pinned linter versions, fetched on demand with `go run` so the repo adds
 # no module dependencies. Bump deliberately; CI uses the same pins.
@@ -10,9 +10,13 @@ STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
 # Step-engine benchmark sweep recorded in BENCH_step_engine.json.
+# BENCH_BACKEND selects the step-engine backend (interp|fused) for the whole
+# sweep via the TCFPRAM_BACKEND env var, keeping benchmark names identical
+# across recorded labels so `benchjson -compare` lines them up.
 BENCH_PATTERN ?= BenchmarkFig7|BenchmarkS4a_VectorAdd|BenchmarkEngine_Step
 BENCH_LABEL   ?= local
 BENCH_TIME    ?= 400x
+BENCH_BACKEND ?= interp
 
 all: build test
 
@@ -30,9 +34,16 @@ race:
 # the labelled result into BENCH_step_engine.json for before/after diffing.
 # The steady-state step loop is gated at 0 allocs/op.
 bench:
-	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) -run '^$$' . \
+	TCFPRAM_BACKEND=$(BENCH_BACKEND) $(GO) test -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) -run '^$$' . \
 		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -o BENCH_step_engine.json \
-			-require-zero-alloc 'BenchmarkEngine_StepLoop'
+			-require-zero-alloc 'BenchmarkEngine_StepLoop/(interp|fused)'
+
+# bench-compare diffs two recorded labels (ns/op and allocs/op), failing on
+# regressions: make bench-compare BENCH_BASE=pr4-staged BENCH_HEAD=pr8-fused
+BENCH_BASE ?= pr4-staged
+BENCH_HEAD ?= pr8-fused
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare -o BENCH_step_engine.json $(BENCH_BASE) $(BENCH_HEAD)
 
 benchall:
 	$(GO) test -bench=. -benchmem ./...

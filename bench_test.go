@@ -8,6 +8,7 @@ package tcfpram
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"tcfpram/internal/exper"
@@ -16,6 +17,29 @@ import (
 	"tcfpram/internal/variant"
 	"tcfpram/internal/workload"
 )
+
+// benchBackend is the execution backend the whole benchmark run uses,
+// selected by the TCFPRAM_BACKEND environment variable ("interp" when unset,
+// "fused" for the compiled backend). Selecting via the environment instead of
+// sub-benchmarks keeps benchmark names identical across recorded labels, so
+// `benchjson -compare` lines up interp and fused runs name for name.
+var benchBackend = func() machine.Backend {
+	b, err := machine.ParseBackend(os.Getenv("TCFPRAM_BACKEND"))
+	if err != nil {
+		panic("TCFPRAM_BACKEND: " + err.Error())
+	}
+	return b
+}()
+
+// withBackend layers the selected backend under a benchmark's own tweak.
+func withBackend(tweak func(*machine.Config)) func(*machine.Config) {
+	return func(c *machine.Config) {
+		c.Backend = benchBackend
+		if tweak != nil {
+			tweak(c)
+		}
+	}
+}
 
 // report attaches simulated-machine metrics to the benchmark result.
 func report(b *testing.B, m *machine.Machine) {
@@ -32,7 +56,7 @@ func benchWorkload(b *testing.B, kind variant.Kind, w workload.Workload, tweak f
 	b.ReportAllocs()
 	var last *machine.Machine
 	for i := 0; i < b.N; i++ {
-		last = exper.MustRun(kind, w, tweak)
+		last = exper.MustRun(kind, w, withBackend(tweak))
 	}
 	report(b, last)
 }
@@ -109,7 +133,7 @@ func BenchmarkFig6_SliceInterleaving(b *testing.B) {
 func BenchmarkFig7_SingleInstruction(b *testing.B) {
 	var last *exper.FigScheduleResult
 	for i := 0; i < b.N; i++ {
-		r, err := exper.FigSchedule(variant.SingleInstruction, nil)
+		r, err := exper.FigSchedule(variant.SingleInstruction, withBackend(nil))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -122,7 +146,7 @@ func BenchmarkFig7_SingleInstruction(b *testing.B) {
 func BenchmarkFig8_Balanced(b *testing.B) {
 	var last *exper.FigScheduleResult
 	for i := 0; i < b.N; i++ {
-		r, err := exper.FigSchedule(variant.Balanced, nil)
+		r, err := exper.FigSchedule(variant.Balanced, withBackend(nil))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -135,7 +159,7 @@ func BenchmarkFig8_Balanced(b *testing.B) {
 func BenchmarkFig9_MultiInstruction(b *testing.B) {
 	var last *exper.FigScheduleResult
 	for i := 0; i < b.N; i++ {
-		r, err := exper.FigSchedule(variant.MultiInstruction, nil)
+		r, err := exper.FigSchedule(variant.MultiInstruction, withBackend(nil))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -285,7 +309,9 @@ func BenchmarkEngine_StepThroughput(b *testing.B) {
 // BenchmarkEngine_StepLoop measures the steady-state cost of one machine
 // step on a long-lived machine (construction excluded): a thick loop body
 // that stores every iteration. With tracing disabled this must run at
-// zero allocations per step — the arenas absorb all step-local state.
+// zero allocations per step — the arenas absorb all step-local state. Both
+// backends are measured explicitly (and both are gated at zero allocations);
+// this is the one benchmark that ignores TCFPRAM_BACKEND.
 func BenchmarkEngine_StepLoop(b *testing.B) {
 	src := `
 shared int c[64] @ 300;
@@ -296,28 +322,34 @@ func main() {
     }
 }
 `
-	m, err := NewMachine(DefaultConfig(SingleInstruction))
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := m.LoadSource("bench", src); err != nil {
-		b.Fatal(err)
-	}
-	if err := m.Boot(); err != nil {
-		b.Fatal(err)
-	}
-	// Warm the arenas past their high-water mark before measuring.
-	for i := 0; i < 64; i++ {
-		if err := m.Step(); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := m.Step(); err != nil {
-			b.Fatal(err)
-		}
+	for _, backend := range []machine.Backend{machine.BackendInterp, machine.BackendFused} {
+		b.Run(backend.String(), func(b *testing.B) {
+			cfg := DefaultConfig(SingleInstruction)
+			cfg.Backend = backend
+			m, err := NewMachine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := m.LoadSource("bench", src); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Boot(); err != nil {
+				b.Fatal(err)
+			}
+			// Warm the arenas past their high-water mark before measuring.
+			for i := 0; i < 64; i++ {
+				if err := m.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

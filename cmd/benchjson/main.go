@@ -11,10 +11,17 @@
 // benchjson exits nonzero (after still writing the merged JSON). CI uses
 // this to keep the steady-state step loop allocation-free.
 //
+// With -compare the command reads nothing from stdin; instead it compares
+// two labelled runs already present in the -o file, printing per-benchmark
+// ns/op and allocs/op deltas and exiting nonzero when anything regressed
+// (ns/op beyond -threshold, or allocs/op at all). CI uses this to compare a
+// fresh run against the committed baseline.
+//
 // Usage:
 //
 //	go test -bench 'Fig|S4|Engine' -benchmem -run '^$' . | benchjson -label pr3-after -o BENCH_step_engine.json
 //	go test -bench Engine_StepLoop -benchmem -run '^$' . | benchjson -require-zero-alloc 'BenchmarkEngine_StepLoop'
+//	benchjson -compare -o BENCH_step_engine.json pr4-staged pr8-fused
 package main
 
 import (
@@ -66,8 +73,19 @@ func run(args []string, in io.Reader) error {
 	label := fs.String("label", "run", "label for this benchmark run")
 	out := fs.String("o", "", "JSON file to merge the run into (default: stdout, no merge)")
 	zeroAlloc := fs.String("require-zero-alloc", "", "fail unless every matching benchmark reports 0 allocs/op (regexp; at least one must match)")
+	compareMode := fs.Bool("compare", false, "compare two labelled runs from the -o file: benchjson -compare -o FILE labelA labelB")
+	threshold := fs.Float64("threshold", 0.10, "ns/op regression tolerance for -compare, as a fraction (0.10 = +10%)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compareMode {
+		if fs.NArg() != 2 {
+			return errors.New("-compare wants exactly two labels: benchjson -compare -o FILE labelA labelB")
+		}
+		if *out == "" {
+			return errors.New("-compare needs -o FILE (the JSON document holding both runs)")
+		}
+		return compare(os.Stdout, *out, fs.Arg(0), fs.Arg(1), *threshold)
 	}
 
 	r, err := parse(in)
@@ -143,6 +161,82 @@ func requireZeroAlloc(r Run, pattern string) error {
 	}
 	if matched == 0 {
 		return fmt.Errorf("no benchmark matches -require-zero-alloc %q", pattern)
+	}
+	return nil
+}
+
+// compare prints per-benchmark ns/op and allocs/op deltas between two
+// labelled runs of the JSON document at path, and returns an error (nonzero
+// exit) when any benchmark regressed: ns/op beyond the threshold fraction,
+// or allocs/op at all. Benchmarks present in only one run are reported but
+// are not a regression — a renamed benchmark shows up as two such lines.
+func compare(w io.Writer, path, labelA, labelB string, threshold float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	find := func(label string) (Run, error) {
+		for _, r := range doc.Runs {
+			if r.Label == label {
+				return r, nil
+			}
+		}
+		return Run{}, fmt.Errorf("%s has no run labelled %q", path, label)
+	}
+	a, err := find(labelA)
+	if err != nil {
+		return err
+	}
+	b, err := find(labelB)
+	if err != nil {
+		return err
+	}
+
+	byName := make(map[string]Benchmark, len(a.Benchmarks))
+	for _, bm := range a.Benchmarks {
+		byName[bm.Name] = bm
+	}
+	fmt.Fprintf(w, "%-44s %14s %14s %9s %16s\n", "benchmark", labelA, labelB, "delta", "allocs/op")
+	var regressions []string
+	matched := 0
+	for _, bb := range b.Benchmarks {
+		ab, ok := byName[bb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-44s %14s %14.6g %9s %16s\n", bb.Name, "-", bb.Metrics["ns/op"], "-", "only in "+labelB)
+			continue
+		}
+		delete(byName, bb.Name)
+		matched++
+		ans, bns := ab.Metrics["ns/op"], bb.Metrics["ns/op"]
+		delta := 0.0
+		if ans > 0 {
+			delta = (bns - ans) / ans
+		}
+		aAllocs, bAllocs := ab.Metrics["allocs/op"], bb.Metrics["allocs/op"]
+		fmt.Fprintf(w, "%-44s %14.6g %14.6g %+8.1f%% %8g → %-6g\n",
+			bb.Name, ans, bns, delta*100, aAllocs, bAllocs)
+		if delta > threshold {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.6g → %.6g ns/op (%+.1f%% > %+.1f%%)", bb.Name, ans, bns, delta*100, threshold*100))
+		}
+		if bAllocs > aAllocs {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %g → %g allocs/op", bb.Name, aAllocs, bAllocs))
+		}
+	}
+	for name, ab := range byName {
+		fmt.Fprintf(w, "%-44s %14.6g %14s %9s %16s\n", name, ab.Metrics["ns/op"], "-", "-", "only in "+labelA)
+	}
+	if matched == 0 {
+		return fmt.Errorf("runs %q and %q share no benchmarks", labelA, labelB)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d regression(s) %s → %s:\n  %s",
+			len(regressions), labelA, labelB, strings.Join(regressions, "\n  "))
 	}
 	return nil
 }

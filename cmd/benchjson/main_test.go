@@ -83,6 +83,51 @@ func TestEmptyInputFails(t *testing.T) {
 	}
 }
 
+func TestCompare(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-label", "before", "-o", out}, strings.NewReader(sample)); err != nil {
+		t.Fatal(err)
+	}
+	faster := strings.ReplaceAll(strings.ReplaceAll(sample, "22591", "9000"), "87 allocs", "53 allocs")
+	if err := run([]string{"-label", "after", "-o", out}, strings.NewReader(faster)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Improvement: compare passes.
+	if err := run([]string{"-compare", "-o", out, "before", "after"}, strings.NewReader("")); err != nil {
+		t.Fatalf("compare on an improvement failed: %v", err)
+	}
+	// Regression beyond the threshold: compare fails, naming the benchmark.
+	err := run([]string{"-compare", "-o", out, "after", "before"}, strings.NewReader(""))
+	if err == nil || !strings.Contains(err.Error(), "regression") || !strings.Contains(err.Error(), "Fig7") {
+		t.Fatalf("want ns/op regression failure, got %v", err)
+	}
+	// An allocs/op increase alone is a regression even within the ns/op
+	// threshold.
+	allocUp := strings.ReplaceAll(sample, "87 allocs", "88 allocs")
+	if err := run([]string{"-label", "allocup", "-o", out}, strings.NewReader(allocUp)); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-compare", "-o", out, "-threshold", "10", "before", "allocup"}, strings.NewReader(""))
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("want allocs/op regression failure, got %v", err)
+	}
+	// Unknown labels fail loudly.
+	err = run([]string{"-compare", "-o", out, "before", "nosuch"}, strings.NewReader(""))
+	if err == nil || !strings.Contains(err.Error(), "no run labelled") {
+		t.Fatalf("want unknown-label failure, got %v", err)
+	}
+	// Label pairs that share no benchmarks fail rather than pass vacuously.
+	other := "BenchmarkOther 	     400	     100 ns/op	       0 B/op	       0 allocs/op\n"
+	if err := run([]string{"-label", "other", "-o", out}, strings.NewReader(other)); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-compare", "-o", out, "before", "other"}, strings.NewReader(""))
+	if err == nil || !strings.Contains(err.Error(), "share no benchmarks") {
+		t.Fatalf("want no-overlap failure, got %v", err)
+	}
+}
+
 const zeroAllocSample = `goos: linux
 goarch: amd64
 BenchmarkEngine_StepLoop-8 	  100000	       704.9 ns/op	       0 B/op	       0 allocs/op

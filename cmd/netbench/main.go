@@ -4,7 +4,8 @@
 // substrate assumption (Figure 1). With -faults it injects deterministic
 // fault plans of increasing intensity and reports the throughput/latency
 // degradation curve plus the recovery work (retransmissions, re-routes)
-// that kept delivery lossless.
+// that kept delivery lossless. A closing section reports the step-engine
+// throughput of the vector-add workload under -backend interp|fused.
 //
 // Usage:
 //
@@ -18,10 +19,15 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"tcfpram/internal/exper"
 	"tcfpram/internal/fault"
+	"tcfpram/internal/machine"
 	"tcfpram/internal/network"
 	"tcfpram/internal/profiling"
+	"tcfpram/internal/variant"
+	"tcfpram/internal/workload"
 )
 
 func main() {
@@ -38,6 +44,7 @@ func run() error {
 	seed := flag.Int64("seed", 1, "traffic and fault seed")
 	patterns := flag.String("patterns", "", "comma-separated traffic patterns (default: all)")
 	faults := flag.Bool("faults", false, "sweep fault intensity and report degradation curves")
+	backendName := flag.String("backend", "", "step-engine backend for the machine throughput section: interp|fused")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -110,6 +117,26 @@ func run() error {
 	s := n.Stats()
 	fmt.Printf("delivered=%d avg latency=%.2f (uncontended distance avg %.2f) max=%d\n",
 		s.Delivered, s.AvgLatency, s.AvgHops+2, s.MaxLatency)
+
+	// Step-engine throughput: the interconnect above is the substrate the
+	// machine's shared references ride on, so close with the end-to-end step
+	// rate of the Section 4 vector-add workload under the selected backend.
+	backend, err := machine.ParseBackend(*backendName)
+	if err != nil {
+		return err
+	}
+	const vecSize, reps = 1024, 64
+	start := time.Now()
+	var steps int64
+	for i := 0; i < reps; i++ {
+		m := exper.MustRun(variant.SingleInstruction,
+			workload.VectorAdd(workload.StyleTCF, vecSize, 16, 0),
+			func(c *machine.Config) { c.Backend = backend })
+		steps += m.Stats().Steps
+	}
+	el := time.Since(start)
+	fmt.Printf("\nstep-engine throughput, vector add (%d lanes) x %d runs, backend=%s\n", vecSize, reps, backend)
+	fmt.Printf("steps=%d elapsed=%v steps/sec=%.0f\n", steps, el.Round(time.Millisecond), float64(steps)/el.Seconds())
 
 	if *faults {
 		return faultSweep(*perNode, *linkCap, *seed)

@@ -9,7 +9,9 @@
 //	echo 'func main() { print(42); }' | tcfrun -lang tcfe -
 //
 // Flags select the variant (-variant tcf|balanced|xmt|esm|pram-numa|simd),
-// machine shape (-groups, -procs), and diagnostics (-trace, -gantt, -dis).
+// the step-engine backend (-backend interp|fused; fused runs precompiled
+// instruction-run closures, bit-identical to the interpreter), machine shape
+// (-groups, -procs), and diagnostics (-trace, -gantt, -dis).
 // -vet statically analyzes a tcf-e program before running it (errors abort
 // the run); -discipline erew|crew enables the runtime memory-discipline
 // cross-checker, stopping the run on same-step conflicts the selected PRAM
@@ -50,6 +52,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tcfrun", flag.ContinueOnError)
 	variantName := fs.String("variant", "tcf", "execution variant: tcf|balanced|xmt|esm|pram-numa|simd (or full names)")
+	backendName := fs.String("backend", "", "step-engine backend: interp|fused (default interp)")
 	groups := fs.Int("groups", 0, "processor groups P (0 = variant default)")
 	procs := fs.Int("procs", 0, "TCF processor slots per group Tp (0 = default)")
 	bound := fs.Int("bound", 0, "balanced variant operation bound b (0 = default)")
@@ -94,6 +97,11 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg := tcfpram.DefaultConfig(kind)
+	backend, err := tcfpram.ParseBackend(*backendName)
+	if err != nil {
+		return err
+	}
+	cfg.Backend = backend
 	if *groups > 0 {
 		cfg.Groups = *groups
 	}
@@ -234,7 +242,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "mem[%d:%d] = %v\n", addr, addr+int64(n), m.Words(addr, n))
 	}
 	if *showStages {
-		fmt.Fprintln(out, m.StageTable())
+		fmt.Fprintf(out, "backend=%s\n%s\n", backend, m.StageTable())
 	}
 	if *showTrace {
 		fmt.Fprintln(out, m.Timeline())

@@ -45,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"tcfpram/internal/machine"
 	"tcfpram/internal/serve"
 )
 
@@ -78,6 +79,7 @@ func run(args []string, logw io.Writer, onReady func(addr string)) error {
 	maxWallClock := fs.Duration("max-wall-clock", 0, "default tenant wall-clock deadline per run (0 = default 5s)")
 	maxSourceBytes := fs.Int("max-source-bytes", 0, "default tenant program-source cap (0 = default 64KiB)")
 	maxInFlight := fs.Int("max-inflight", 0, "default tenant concurrent-run cap (0 = default 4)")
+	backend := fs.String("backend", "", "default tenant step-engine backend: interp|fused (empty = interp)")
 	recoverDir := fs.String("recover-dir", "", "enable crash recovery: write-ahead run journal and checkpoints live here")
 	ckptEvery := fs.Int64("checkpoint-every", 0, "steps between mid-run machine checkpoints (0 = default 256; needs -recover-dir)")
 	quiet := fs.Bool("quiet", false, "suppress the operational log")
@@ -86,6 +88,9 @@ func run(args []string, logw io.Writer, onReady func(addr string)) error {
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if _, err := machine.ParseBackend(*backend); err != nil {
+		return err
 	}
 
 	logger := log.New(logw, "tcfserve: ", log.LstdFlags)
@@ -110,6 +115,7 @@ func run(args []string, logw io.Writer, onReady func(addr string)) error {
 			MaxWallClock:   *maxWallClock,
 			MaxSourceBytes: *maxSourceBytes,
 			MaxInFlight:    *maxInFlight,
+			Backend:        *backend,
 		},
 		RecoverDir:           *recoverDir,
 		CheckpointEverySteps: *ckptEvery,

@@ -1,0 +1,227 @@
+package chaos
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tcfpram/internal/codegen"
+	"tcfpram/internal/fault"
+	"tcfpram/internal/machine"
+	"tcfpram/internal/variant"
+)
+
+// allKinds is every execution variant: the fused backend must be
+// bit-identical to the interpreter under all six policies.
+var allKinds = []variant.Kind{
+	variant.SingleInstruction,
+	variant.Balanced,
+	variant.MultiInstruction,
+	variant.SingleOperation,
+	variant.ConfigurableSingleOperation,
+	variant.FixedThickness,
+}
+
+func fusedBackend(c *machine.Config) { c.Backend = machine.BackendFused }
+
+// runLoose is runCfg without the fatal-on-error policy: a variant legally
+// rejecting a program (SETTHICK on a fixed thread set, SPLIT without control
+// parallelism) is itself an observable outcome the two backends must agree
+// on, message for message.
+func runLoose(tb testing.TB, c *codegen.Compiled, kind variant.Kind, tweak func(*machine.Config)) (result, *machine.Stats, error) {
+	tb.Helper()
+	cfg := machine.Default(kind)
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := m.LoadProgram(c.Program); err != nil {
+		tb.Fatal(err)
+	}
+	for _, seg := range c.LocalData {
+		for g := 0; g < cfg.Groups; g++ {
+			if err := m.LocalMem(g).Load(seg.Addr, seg.Words); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	_, runErr := m.Run()
+	var r result
+	for _, o := range m.Outputs() {
+		r.outputs = append(r.outputs, o.Values...)
+	}
+	r.memory = m.Shared().Snapshot(0, snapshotWords)
+	return r, m.Stats(), runErr
+}
+
+// errString renders a run error for comparison (empty = success).
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// TestFusedBackendDifferential is the oracle check of the fused backend:
+// every corpus program, under every variant policy, produces outputs, a
+// shared-memory image and complete model statistics bit-identical to the
+// interpreter's.
+func TestFusedBackendDifferential(t *testing.T) {
+	for _, file := range corpusFiles(t) {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			c := compile(t, file)
+			for _, kind := range allKinds {
+				interp, interpStats, interpErr := runLoose(t, c, kind, nil)
+				fused, fusedStats, fusedErr := runLoose(t, c, kind, fusedBackend)
+				if errString(interpErr) != errString(fusedErr) {
+					t.Fatalf("%v: run errors diverged:\ninterp %v\nfused  %v",
+						kind, interpErr, fusedErr)
+				}
+				if !reflect.DeepEqual(interp.outputs, fused.outputs) {
+					t.Fatalf("%v: outputs diverged:\ninterp %v\nfused  %v",
+						kind, interp.outputs, fused.outputs)
+				}
+				if !reflect.DeepEqual(interp.memory, fused.memory) {
+					t.Fatalf("%v: shared memory diverged", kind)
+				}
+				if !reflect.DeepEqual(*interpStats, *fusedStats) {
+					t.Fatalf("%v: stats diverged:\ninterp %+v\nfused  %+v",
+						kind, *interpStats, *fusedStats)
+				}
+			}
+		})
+	}
+}
+
+// TestFusedChaosDifferential runs the corpus under recoverable fault plans on
+// both backends: fault decisions key off per-reference sequence numbers, so
+// identical statistics (retransmits, reroutes, stall cycles) prove the fused
+// backend issues exactly the interpreter's reference stream.
+func TestFusedChaosDifferential(t *testing.T) {
+	kinds := []variant.Kind{variant.SingleInstruction, variant.Balanced, variant.MultiInstruction}
+	groups := machine.Default(variant.SingleInstruction).Groups
+	plans := []*fault.Plan{
+		fault.Random(1, groups, groups),
+		fault.Random(2, groups, groups),
+	}
+	var retransmits int64
+	for _, file := range corpusFiles(t) {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			c := compile(t, file)
+			for _, kind := range kinds {
+				for i, plan := range plans {
+					interp, interpStats := run(t, c, kind, plan)
+					fused, fusedStats := runCfg(t, c, kind, plan, fusedBackend)
+					if !reflect.DeepEqual(interp.outputs, fused.outputs) {
+						t.Fatalf("%v plan %d: outputs diverged:\ninterp %v\nfused  %v",
+							kind, i, interp.outputs, fused.outputs)
+					}
+					if !reflect.DeepEqual(interp.memory, fused.memory) {
+						t.Fatalf("%v plan %d: shared memory diverged", kind, i)
+					}
+					if !reflect.DeepEqual(*interpStats, *fusedStats) {
+						t.Fatalf("%v plan %d: stats diverged:\ninterp %+v\nfused  %+v",
+							kind, i, *interpStats, *fusedStats)
+					}
+					retransmits += fusedStats.Retransmits
+				}
+			}
+		})
+	}
+	if retransmits == 0 {
+		t.Fatal("no retransmissions across the fused chaos sweep; plans injected nothing")
+	}
+}
+
+// TestFusedLaneParallelDifferential forces lane chunking on (threshold 1)
+// under the fused backend and demands bit-identical results and statistics
+// against the interpreter with the same chunking — including the LaneChunks
+// counter itself: both backends must make the same fan-out decisions.
+func TestFusedLaneParallelDifferential(t *testing.T) {
+	laneParallel := func(c *machine.Config) {
+		c.Parallel = true
+		c.LaneParallelThreshold = 1
+	}
+	both := func(c *machine.Config) {
+		laneParallel(c)
+		fusedBackend(c)
+	}
+	var laneChunks int64
+	for _, file := range corpusFiles(t) {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			c := compile(t, file)
+			interp, interpStats := runCfg(t, c, variant.SingleInstruction, nil, laneParallel)
+			fused, fusedStats := runCfg(t, c, variant.SingleInstruction, nil, both)
+			if !reflect.DeepEqual(interp.outputs, fused.outputs) {
+				t.Fatalf("outputs diverged:\ninterp %v\nfused  %v", interp.outputs, fused.outputs)
+			}
+			if !reflect.DeepEqual(interp.memory, fused.memory) {
+				t.Fatal("shared memory diverged")
+			}
+			if !reflect.DeepEqual(*interpStats, *fusedStats) {
+				t.Fatalf("stats diverged:\ninterp %+v\nfused  %+v", *interpStats, *fusedStats)
+			}
+			laneChunks += fusedStats.LaneChunks
+		})
+	}
+	if laneChunks == 0 {
+		t.Fatal("lane chunking never engaged under the fused backend; the differential proved nothing")
+	}
+}
+
+// FuzzFusedVsInterp fuzzes the backend-equivalence invariant over (program,
+// variant, chunking): any corpus program on any variant must produce
+// bit-identical outputs, memory and statistics on both backends.
+func FuzzFusedVsInterp(f *testing.F) {
+	files := corpusFiles(f)
+	for idx := 0; idx < len(files); idx += 3 {
+		for k := range allKinds {
+			f.Add(idx, k, false)
+		}
+		f.Add(idx, 0, true)
+	}
+	f.Fuzz(func(t *testing.T, idx, kindIdx int, laneParallel bool) {
+		if idx < 0 {
+			idx = -(idx + 1)
+		}
+		idx %= len(files)
+		if kindIdx < 0 {
+			kindIdx = -(kindIdx + 1)
+		}
+		kind := allKinds[kindIdx%len(allKinds)]
+		c := compile(t, files[idx])
+		tweak := func(cfg *machine.Config) {
+			if laneParallel {
+				cfg.Parallel = true
+				cfg.LaneParallelThreshold = 1
+			}
+		}
+		withFused := func(cfg *machine.Config) {
+			tweak(cfg)
+			fusedBackend(cfg)
+		}
+		interp, interpStats, interpErr := runLoose(t, c, kind, tweak)
+		fused, fusedStats, fusedErr := runLoose(t, c, kind, withFused)
+		if errString(interpErr) != errString(fusedErr) {
+			t.Fatalf("%s %v: run errors diverged:\ninterp %v\nfused  %v",
+				files[idx], kind, interpErr, fusedErr)
+		}
+		if !reflect.DeepEqual(interp.outputs, fused.outputs) {
+			t.Fatalf("%s %v: outputs diverged:\ninterp %v\nfused  %v",
+				files[idx], kind, interp.outputs, fused.outputs)
+		}
+		if !reflect.DeepEqual(interp.memory, fused.memory) {
+			t.Fatalf("%s %v: shared memory diverged", files[idx], kind)
+		}
+		if !reflect.DeepEqual(*interpStats, *fusedStats) {
+			t.Fatalf("%s %v: stats diverged:\ninterp %+v\nfused  %+v",
+				files[idx], kind, *interpStats, *fusedStats)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package exper
 
 import (
 	"strings"
+	"sync"
 
 	"tcfpram/internal/isa"
 	"tcfpram/internal/machine"
@@ -151,8 +152,9 @@ func Fig34() ([]trace.FlowSpan, []int, *machine.Machine, error) {
 // ---- Figures 6-12: per-variant execution schedules ----
 
 // scheduleProgram builds the two-flow workload of Figures 7/8: flows of
-// thickness 12 and 3 each executing a few thick instructions.
-func scheduleProgram() *isa.Program {
+// thickness 12 and 3 each executing a few thick instructions. Programs are
+// immutable once built, so the figure harness shares one copy across runs.
+var scheduleProgram = sync.OnceValue(func() *isa.Program {
 	b := isa.NewBuilder("schedule")
 	b.Label("main")
 	b.Split(isa.ArmImm(12, "thickArm"), isa.ArmImm(3, "thinArm"))
@@ -168,7 +170,7 @@ func scheduleProgram() *isa.Program {
 	}
 	b.Op(isa.JOIN)
 	return b.MustBuild()
-}
+})
 
 // FigSchedule runs the 12/3 two-flow workload on the given variant with
 // tracing and returns the machine (for rendering) plus summary measures.
@@ -203,8 +205,11 @@ func FigSchedule(kind variant.Kind, tweak func(*machine.Config)) (*FigScheduleRe
 		return nil, err
 	}
 	res := &FigScheduleResult{Variant: kind, Steps: m.Stats().Steps, Cycles: m.Stats().Cycles, Machine: m}
+	perGroup := make([]int, cfg.Groups)
 	for _, rec := range m.Trace() {
-		perGroup := map[int]int{}
+		for i := range perGroup {
+			perGroup[i] = 0
+		}
 		for _, s := range rec.Slices {
 			if !s.Op.Info().Control {
 				perGroup[s.Group] += s.Lanes

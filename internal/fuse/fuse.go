@@ -1,0 +1,145 @@
+// Package fuse is the compiled backend's per-flow block compiler: at program
+// load time it partitions each straight-line instruction run (discovered by
+// isa.Blocks) into superinstructions — precompiled Go closures that execute
+// an entire run over a lane range with operand shapes resolved once, at
+// compile time, instead of re-decoded on every step.
+//
+// The compiled program carries, per PC, the instruction's execution class,
+// its precomputed thickness/sliceability properties, the length of the fused
+// run starting there, and (for pure register operations) a kernel closure.
+// The step engine stays the single owner of everything step-resolved: memory
+// references, combining traffic, fault decisions, discipline records and
+// trace accounting all happen in the engine at run boundaries, which is what
+// keeps the compiled backend bit-identical to the interpreter.
+package fuse
+
+import (
+	"sync/atomic"
+
+	"tcfpram/internal/isa"
+	"tcfpram/internal/tcf"
+)
+
+// Class is the execution class the engine dispatches on.
+type Class uint8
+
+const (
+	// ClassReg is a pure register/lane operation with a compiled Kern.
+	ClassReg Class = iota
+	// ClassMem references shared or local memory or the combining network;
+	// the engine executes it with bulk kernels or its per-lane reference
+	// path (the fusion boundary of the run).
+	ClassMem
+	// ClassControl is a flow-level control or structure operation.
+	ClassControl
+	// ClassAtomic is a flow-atomic operation (reductions, PRINT/PRINTS,
+	// NOP) executed by the engine's atomic path.
+	ClassAtomic
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassReg:
+		return "reg"
+	case ClassMem:
+		return "mem"
+	case ClassControl:
+		return "control"
+	case ClassAtomic:
+		return "atomic"
+	}
+	return "class?"
+}
+
+// Env is the execution environment a kernel may consult: the identity of the
+// group running the flow and the machine shape constants. Passed by value —
+// three words — so kernels stay allocation-free.
+type Env struct {
+	Group  int // executing processor-group index (GID)
+	Groups int // P (NGRP)
+	Procs  int // P*Tp (NPROC)
+}
+
+// Kern executes lanes [first, end) of one register operation on f. Kernels
+// never touch memory, combining or flow structure; their effects are exactly
+// the interpreter's per-lane semantics for the instruction they were
+// compiled from.
+type Kern func(env Env, f *tcf.Flow, first, end int)
+
+// Instr is one compiled instruction.
+type Instr struct {
+	// In is the source instruction.
+	In isa.Instr
+	// Class selects the engine dispatch path.
+	Class Class
+	// Thick and Sliceable cache isa.Instr.Thick/Sliceable (instruction-only
+	// properties, precomputed off the hot path).
+	Thick     bool
+	Sliceable bool
+	// Run is the length of the fused straight-line run starting at this PC
+	// (≥ 1; > 1 only for ClassReg). The engine may execute instructions
+	// [pc, pc+Run) back to back without surfacing: the run contains no
+	// control transfer, no memory reference and no interior branch target.
+	Run int
+	// Kern is the compiled lane kernel (ClassReg, nil when the opcode has
+	// no lane semantics — the engine falls back and reports the same error
+	// the interpreter would).
+	Kern Kern
+}
+
+// Program is a compiled program: one Instr per source PC.
+type Program struct {
+	Src  *isa.Program
+	Code []Instr
+}
+
+// Compile builds the fused program for p. It never fails: opcodes the
+// compiler cannot kernelize keep Class assignments that route them through
+// the interpreter's own paths, so compiled execution is defined exactly
+// where interpreted execution is.
+func Compile(p *isa.Program) *Program {
+	rl := isa.RunLengths(p)
+	code := make([]Instr, p.Len())
+	for pc := range p.Instrs {
+		in := p.Instrs[pc]
+		fi := &code[pc]
+		fi.In = in
+		fi.Thick = in.Thick()
+		fi.Sliceable = in.Sliceable()
+		fi.Run = 1
+		info := in.Op.Info()
+		switch {
+		case info.Control:
+			fi.Class = ClassControl
+		case info.MemRef || info.LocalRef:
+			fi.Class = ClassMem
+		case !in.Op.Fusible():
+			fi.Class = ClassAtomic
+		default:
+			fi.Class = ClassReg
+			fi.Run = rl[pc]
+			fi.Kern = compileKern(in)
+		}
+	}
+	return &Program{Src: p, Code: code}
+}
+
+// lastCompiled is a single-entry cache for Cached: programs are immutable
+// once built, and the common machine lifecycles (benchmark harnesses
+// rebuilding one figure workload, pooled servers reloading a tenant program)
+// reload the same *isa.Program over and over. One entry keeps the cache
+// bounded; misses just compile.
+var lastCompiled atomic.Pointer[Program]
+
+// Cached returns the fused program for p, reusing the most recently compiled
+// program when it was built from the same *isa.Program. The returned Program
+// is shared and must be treated as read-only (the engine already does: it
+// only ever reads Code).
+func Cached(p *isa.Program) *Program {
+	if fp := lastCompiled.Load(); fp != nil && fp.Src == p {
+		return fp
+	}
+	fp := Compile(p)
+	lastCompiled.Store(fp)
+	return fp
+}

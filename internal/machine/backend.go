@@ -56,9 +56,7 @@ func (bk *backend) merge() (int64, error) {
 			m.runErr = x.err
 			return 0, x.err
 		}
-		for _, w := range x.writes {
-			m.shared.BufferWrite(w.Addr, w.Val, w.Key)
-		}
+		m.shared.BufferWrites(x.writes)
 		for i := range x.contribs {
 			pc := &x.contribs[i]
 			c := pc.c
@@ -186,6 +184,16 @@ func (x *groupExec) runFlow(f *tcf.Flow, slot int, plan StepPlan, budget *int) {
 			}
 			*budget -= x.execNUMABunch(f, slot, n)
 			return
+		}
+		if fp := x.m.fprog; fp != nil && !plan.Slice {
+			// Fused straight-line run: consecutive register instructions
+			// execute back to back through their compiled kernels, up to the
+			// remaining window. Sliced plans keep the generic path — every
+			// instruction there is an offset-carrying lane slice.
+			if adv := x.runFusedRun(f, slot, plan, budget, plan.Window-k); adv > 0 {
+				k += adv - 1
+				continue
+			}
 		}
 		in, ok := x.fetch(f)
 		if !ok {

@@ -18,10 +18,51 @@ import (
 	"tcfpram/internal/variant"
 )
 
+// Backend selects the step-engine execution backend. Both backends are
+// bit-identical in every architectural respect — outputs, statistics, fault
+// decisions, discipline verdicts, checkpoints — and differ only in wall
+// clock; the interpreter is the reference (oracle) implementation.
+type Backend int
+
+const (
+	// BackendInterp is the reference interpreter: per-operation dispatch
+	// through the generic exec switch.
+	BackendInterp Backend = iota
+	// BackendFused precompiles the program (internal/fuse) into per-run
+	// fused closures with operand shapes resolved at load time; memory and
+	// fault machinery are touched only at run boundaries.
+	BackendFused
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendInterp:
+		return "interp"
+	case BackendFused:
+		return "fused"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// ParseBackend parses a backend name ("interp" or "fused").
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "interp", "":
+		return BackendInterp, nil
+	case "fused":
+		return BackendFused, nil
+	}
+	return 0, fmt.Errorf("machine: unknown backend %q (want interp or fused)", s)
+}
+
 // Config describes a machine instance.
 type Config struct {
 	// Variant selects the execution model (Section 3.2).
 	Variant variant.Kind
+
+	// Backend selects the execution backend (BackendInterp by default; see
+	// Backend). Results are bit-identical across backends.
+	Backend Backend
 
 	// Groups is P, the number of processor groups (physical pipelines).
 	Groups int
@@ -243,6 +284,9 @@ func (c Config) normalize() (Config, error) {
 		if err := c.FaultPlan.Validate(); err != nil {
 			return c, fmt.Errorf("machine: %w", err)
 		}
+	}
+	if c.Backend != BackendInterp && c.Backend != BackendFused {
+		return c, fmt.Errorf("machine: unknown backend %d", int(c.Backend))
 	}
 	return c, nil
 }

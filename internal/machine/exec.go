@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"tcfpram/internal/fuse"
 	"tcfpram/internal/isa"
 	"tcfpram/internal/tcf"
 )
@@ -47,6 +48,10 @@ func (x *groupExec) fetch(f *tcf.Flow) (isa.Instr, bool) {
 
 // execWhole executes one fetched instruction across its full width.
 func (x *groupExec) execWhole(f *tcf.Flow, slot int, in isa.Instr) {
+	if fp := x.m.fprog; fp != nil {
+		x.execWholeFused(f, slot, in, &fp.Code[f.PC])
+		return
+	}
 	if fragmentUnsafe(f, in) {
 		x.failf("flow %d: %s funnels thread-wise data into flow-common state inside an auto-split fragment; disable AutoSplitThreshold for this program", f.ID, in.Op)
 		return
@@ -109,6 +114,41 @@ func (x *groupExec) execNUMABunch(f *tcf.Flow, slot, n int) int {
 			}
 			continue
 		}
+		if fp := x.m.fprog; fp != nil {
+			if fi := &fp.Code[f.PC]; fi.Class == fuse.ClassReg && fi.Kern != nil {
+				// Fused straight-line run: consecutive register instructions
+				// of the bunch execute back to back through their compiled
+				// kernels, with per-instruction fetch and trace accounting.
+				x.record(f, slot, in, 0, 1, true)
+				fi.Kern(x.fenv, f, 0, 1)
+				if fi.Thick {
+					x.ops++
+				} else {
+					x.scalarOps++
+				}
+				f.PC++
+				for fi.Run > 1 && k+1 < n {
+					fj := &fp.Code[f.PC]
+					if fj.Class != fuse.ClassReg || fj.Kern == nil {
+						break
+					}
+					k++
+					executed++
+					x.fetches++
+					f.InstrFetches++
+					x.record(f, slot, fj.In, 0, 1, true)
+					fj.Kern(x.fenv, f, 0, 1)
+					if fj.Thick {
+						x.ops++
+					} else {
+						x.scalarOps++
+					}
+					f.PC++
+					fi = fj
+				}
+				continue
+			}
+		}
 		x.record(f, slot, in, 0, 1, true)
 		seq := k
 		if !sliceable(f, in) {
@@ -129,9 +169,10 @@ func (x *groupExec) execNUMABunch(f *tcf.Flow, slot, n int) int {
 }
 
 // sliceable reports whether the instruction can be split lane-by-lane across
-// steps (Balanced variant).
+// steps (Balanced variant). Like isThick, it delegates to the instruction
+// property shared with the fuse compiler.
 func sliceable(f *tcf.Flow, in isa.Instr) bool {
-	return isThick(f, in) && !in.Op.IsReduction() && in.Op != isa.PRINT
+	return in.Sliceable()
 }
 
 // record appends a trace slice when tracing is enabled.

@@ -7,6 +7,7 @@ import (
 	"slices"
 	"sync"
 
+	"tcfpram/internal/fuse"
 	"tcfpram/internal/isa"
 	"tcfpram/internal/mem"
 	"tcfpram/internal/multiop"
@@ -33,6 +34,9 @@ type Machine struct {
 	policy variant.Policy
 	shape  variant.StepShape
 	prog   *isa.Program
+	// fprog is the compiled program of the fused backend (Config.Backend ==
+	// BackendFused), built at LoadProgram/Restore; nil under the interpreter.
+	fprog *fuse.Program
 
 	front frontend
 	back  backend
@@ -41,6 +45,7 @@ type Machine struct {
 	groups []*Group
 
 	flows      map[int]*tcf.Flow
+	flowList   []*tcf.Flow // same flows in creation (= id) order: the per-step scans iterate this, not the map
 	homeGroup  map[int]int // flow id -> group index
 	nextFlowID int
 
@@ -65,6 +70,13 @@ type Machine struct {
 	runErr  error
 	stepRec *StepRecord // current step's trace record (when tracing)
 	trace   []*StepRecord
+
+	// recArena/gcArena chunk-allocate trace records and their GroupCycles
+	// rows so tracing costs ~1 allocation per step instead of several.
+	// Records handed out stay alive through m.trace; Reset drops both.
+	recArena   []StepRecord
+	gcArena    []int64
+	sliceArena []SliceExec
 }
 
 // New builds a machine for cfg (normalized) with an empty program.
@@ -86,24 +98,33 @@ func New(cfg Config) (*Machine, error) {
 		policy:    pol,
 		shape:     pol.Shape(c.machineShape()),
 		shared:    shared,
-		flows:     make(map[int]*tcf.Flow),
-		homeGroup: make(map[int]int),
+		flows:     make(map[int]*tcf.Flow, 8),
+		flowList:  make([]*tcf.Flow, 0, 8),
+		homeGroup: make(map[int]int, 8),
 	}
 	m.front.m = m
 	m.back.m = m
-	for i, kind := range combineKinds {
-		m.combiners[i] = multiop.NewCombiner(kind)
-	}
+	copy(m.combiners[:], multiop.NewCombinerBank(combineKinds[:]))
 	m.shared.SetParallel(c.Parallel)
 	m.stats.PerGroupOps = make([]int64, c.Groups)
 	m.stats.PerGroupCycles = make([]int64, c.Groups)
+	// One backing array per kind: the per-group structs are small and
+	// always allocated together, so batching them keeps machine
+	// construction (pool misses, benchmark iterations) cheap.
+	garr := make([]Group, c.Groups)
+	xarr := make([]groupExec, c.Groups)
+	m.groups = make([]*Group, c.Groups)
+	m.execs = make([]*groupExec, c.Groups)
 	for i := 0; i < c.Groups; i++ {
 		local, err := mem.NewLocal(i, c.LocalWords)
 		if err != nil {
 			return nil, fmt.Errorf("machine: %w", err)
 		}
-		m.groups = append(m.groups, &Group{Index: i, Local: local})
-		m.execs = append(m.execs, &groupExec{m: m, g: m.groups[i]})
+		garr[i] = Group{Index: i, Local: local}
+		xarr[i] = groupExec{m: m, g: &garr[i],
+			fenv: fuse.Env{Group: i, Groups: c.Groups, Procs: c.TotalProcessors()}}
+		m.groups[i] = &garr[i]
+		m.execs[i] = &xarr[i]
 	}
 	// Group→module distances never change (failover remaps the module
 	// index, not the metric), so the hot path indexes a flat table instead
@@ -113,6 +134,11 @@ func New(cfg Config) (*Machine, error) {
 	for g := 0; g < c.Groups; g++ {
 		for mod := 0; mod < m.nmods; mod++ {
 			m.dist[g*m.nmods+mod] = c.Topology.Distance(g, mod)
+		}
+	}
+	for _, x := range m.execs {
+		for _, d := range m.dist[x.g.Index*m.nmods:][:m.nmods] {
+			x.rowMax = max(x.rowMax, d)
 		}
 	}
 	return m, nil
@@ -158,12 +184,15 @@ func (m *Machine) Trace() []*StepRecord { return m.trace }
 
 // Flows returns all flows ever created, sorted by id.
 func (m *Machine) Flows() []*tcf.Flow {
-	out := make([]*tcf.Flow, 0, len(m.flows))
-	for _, f := range m.flows {
-		out = append(out, f)
-	}
+	out := append([]*tcf.Flow(nil), m.flowList...)
 	slices.SortFunc(out, func(a, b *tcf.Flow) int { return cmp.Compare(a.ID, b.ID) })
 	return out
+}
+
+// addFlow registers f in both flow containers.
+func (m *Machine) addFlow(f *tcf.Flow) {
+	m.flows[f.ID] = f
+	m.flowList = append(m.flowList, f)
 }
 
 // Flow returns the flow with the given id, or nil.
@@ -180,6 +209,10 @@ func (m *Machine) LoadProgram(p *isa.Program) error {
 		}
 	}
 	m.prog = p
+	m.fprog = nil
+	if m.cfg.Backend == BackendFused {
+		m.fprog = fuse.Cached(p)
+	}
 	return nil
 }
 
@@ -191,7 +224,7 @@ func (m *Machine) Program() *isa.Program { return m.prog }
 func (m *Machine) newFlow(pc, thickness, g int) *tcf.Flow {
 	f := tcf.New(m.nextFlowID, pc, thickness)
 	m.nextFlowID++
-	m.flows[f.ID] = f
+	m.addFlow(f)
 	m.front.place(f, g)
 	m.stats.FlowsCreated++
 	if live := m.liveFlows(); live > m.stats.MaxLiveFlows {
@@ -203,7 +236,7 @@ func (m *Machine) newFlow(pc, thickness, g int) *tcf.Flow {
 // liveFlows counts flows not yet Done.
 func (m *Machine) liveFlows() int {
 	n := 0
-	for _, f := range m.flows {
+	for _, f := range m.flowList {
 		if f.State != tcf.Done {
 			n++
 		}

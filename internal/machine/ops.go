@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"tcfpram/internal/fuse"
 	"tcfpram/internal/isa"
 	"tcfpram/internal/mem"
 	"tcfpram/internal/multiop"
@@ -84,26 +85,12 @@ func b2i(b bool) int64 {
 }
 
 // isThick reports whether the instruction executes one operation per lane of
-// the flow (as opposed to a single flow-level operation).
+// the flow (as opposed to a single flow-level operation). Thickness is an
+// instruction property — the flow argument is kept for call-site symmetry;
+// isa.Instr.Thick is the single source of truth (shared with the fuse
+// compiler).
 func isThick(f *tcf.Flow, in isa.Instr) bool {
-	switch in.Op.Info().Args {
-	case isa.ArgsDImm, isa.ArgsD:
-		return in.Rd.IsVector()
-	case isa.ArgsDA, isa.ArgsDAB, isa.ArgsDABC, isa.ArgsDMem, isa.ArgsDMemB:
-		return in.Rd.IsVector()
-	case isa.ArgsMemB: // ST, STL, multioperations
-		// Multioperations are inherently per-thread: every implicit
-		// thread contributes, even when both operands are flow-common.
-		if in.Op.IsMultiop() {
-			return true
-		}
-		return in.Ra.IsVector() || in.Rb.IsVector()
-	case isa.ArgsSV: // reductions read every lane
-		return true
-	case isa.ArgsSrc:
-		return in.Op == isa.PRINT && !in.HasImm && in.Ra.IsVector()
-	}
-	return false
+	return in.Thick()
 }
 
 // width returns the number of operation slices the instruction occupies for
@@ -213,6 +200,10 @@ type groupExec struct {
 	m *Machine
 	g *Group
 
+	// fenv is the group's compiled-kernel environment (fused backend):
+	// everything a fuse.Kern may read besides the flow itself.
+	fenv fuse.Env
+
 	// plan is the StepPlan stamped at reset; runGroup executes it.
 	plan StepPlan
 	// immediate caches !plan.Lockstep: XMT-style memory semantics where
@@ -225,7 +216,10 @@ type groupExec struct {
 
 	anyShared bool
 	maxDist   int
-	stall     int64
+	// rowMax is the largest group→module distance in this group's row of
+	// the distance table — the saturation bound for maxDist, set at build.
+	rowMax int
+	stall  int64
 
 	// Fault-injection accounting (Config.FaultPlan): retransmission and
 	// detour stalls inflate cycles, never values. refSeq numbers the
@@ -536,11 +530,23 @@ func (x *groupExec) execLane(f *tcf.Flow, in isa.Instr, i, seq int) {
 }
 
 // execLaneRange executes lanes [first, first+n) of a sliceable instruction
-// with seq 0, in lane order — exactly the serial execLane loop, but the hot
-// op classes hoist register-file lookups out of the lane loop. Vector
-// operands of a sliceable instruction always span the full lane count
-// (Flow.Vector sizes them to Lanes()), so the bulk loops index directly.
+// with seq 0, in lane order. Under the fused backend the range runs through
+// the compiled kernel (or bulk memory kernel) when one applies; every other
+// case — and the whole interpreter backend — takes the reference per-lane
+// path below.
 func (x *groupExec) execLaneRange(f *tcf.Flow, in isa.Instr, first, n int) {
+	if fp := x.m.fprog; fp != nil && x.fusedLaneRange(f, &fp.Code[f.PC], first, n) {
+		return
+	}
+	x.execLaneRangeInterp(f, in, first, n)
+}
+
+// execLaneRangeInterp is the reference lane-range loop — exactly the serial
+// execLane loop, but the hot op classes hoist register-file lookups out of
+// the lane loop. Vector operands of a sliceable instruction always span the
+// full lane count (Flow.Vector sizes them to Lanes()), so the bulk loops
+// index directly.
+func (x *groupExec) execLaneRangeInterp(f *tcf.Flow, in isa.Instr, first, n int) {
 	end := first + n
 	switch {
 	case in.Op.IsBinaryALU() && in.Rd.IsVector():

@@ -169,7 +169,7 @@ func (x *groupExec) execLanes(f *tcf.Flow, in isa.Instr, w int) {
 	}
 
 	for len(x.lw) < chunks-1 {
-		x.lw = append(x.lw, &groupExec{m: x.m, g: x.g})
+		x.lw = append(x.lw, &groupExec{m: x.m, g: x.g, fenv: x.fenv, rowMax: x.rowMax})
 	}
 	if cap(x.chunks) < chunks-1 {
 		x.chunks = make([]laneChunk, chunks-1)

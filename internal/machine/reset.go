@@ -15,7 +15,9 @@ import "fmt"
 // it. Reset must not run concurrently with Step/Run.
 func (m *Machine) Reset() {
 	m.prog = nil
+	m.fprog = nil
 	clear(m.flows)
+	m.flowList = m.flowList[:0]
 	clear(m.homeGroup)
 	m.nextFlowID = 0
 
@@ -46,6 +48,9 @@ func (m *Machine) Reset() {
 	m.runErr = nil
 	m.stepRec = nil
 	m.trace = nil
+	m.recArena = nil
+	m.gcArena = nil
+	m.sliceArena = nil
 
 	// Checkpoint wiring is per-run state stamped through SetCheckpointing
 	// (the sink typically points at a per-run file), so a recycled machine

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"tcfpram/internal/checkpoint"
+	"tcfpram/internal/fuse"
 	"tcfpram/internal/isa"
 	"tcfpram/internal/tcf"
 )
@@ -207,6 +208,13 @@ func Restore(r io.Reader, cfg Config) (*Machine, error) {
 		// the snapshot is the post-load state, so re-applying the program's
 		// data segments would clobber whatever the run wrote over them.
 		m.prog = p
+		// Backend is deliberately absent from the snapshot fingerprint: both
+		// backends are bit-identical, so a checkpoint taken under one resumes
+		// under the other (and the chaos cross-backend differential proves
+		// the resumed run identical either way).
+		if m.cfg.Backend == BackendFused {
+			m.fprog = fuse.Cached(p)
+		}
 	}
 
 	d.Section("shared")
@@ -241,7 +249,7 @@ func Restore(r io.Reader, cfg Config) (*Machine, error) {
 		if f.Home < 0 || f.Home >= len(m.groups) {
 			return nil, fmt.Errorf("machine: snapshot flow %d home group %d outside [0,%d)", f.ID, f.Home, len(m.groups))
 		}
-		m.flows[f.ID] = f
+		m.addFlow(f)
 		m.homeGroup[f.ID] = f.Home
 		if parent >= 0 {
 			parents[f.ID] = parent

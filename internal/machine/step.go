@@ -98,7 +98,7 @@ func (m *Machine) runStep(plan StepPlan) error {
 	// Barrier release: only when no flow anywhere can still run toward
 	// the barrier and at least one is blocked at a BAR.
 	if !m.anyReadyAnywhere() {
-		for _, f := range m.flows {
+		for _, f := range m.flowList {
 			if f.State == tcf.Blocked {
 				f.State = tcf.Ready
 			}
@@ -118,12 +118,34 @@ func (m *Machine) runStep(plan StepPlan) error {
 			delta[s].Events = m.stats.Stages[s].Events - stagesBefore[s].Events
 		}
 		if m.cfg.TraceEnabled {
-			rec := &StepRecord{Step: m.stats.Steps - 1, Cycles: stepCycles,
-				GroupCycles: make([]int64, len(m.groups)), Stages: delta,
-				DiscReads: discR, DiscWrites: discW}
+			// Chunks grow with the trace so short runs stay cheap and long
+			// runs amortize: 8, then ~len(trace) capped at 256.
+			if len(m.recArena) == 0 {
+				m.recArena = make([]StepRecord, min(256, max(8, len(m.trace))))
+			}
+			rec := &m.recArena[0]
+			m.recArena = m.recArena[1:]
+			ng := len(m.groups)
+			if len(m.gcArena) < ng {
+				m.gcArena = make([]int64, min(256, max(8, len(m.trace)))*ng)
+			}
+			rec.GroupCycles, m.gcArena = m.gcArena[:ng:ng], m.gcArena[ng:]
+			rec.Step, rec.Cycles, rec.Stages = m.stats.Steps-1, stepCycles, delta
+			rec.DiscReads, rec.DiscWrites = discR, discW
+			n := 0
+			for _, x := range m.execs {
+				n += len(x.slices)
+			}
+			if len(m.sliceArena) < n {
+				m.sliceArena = make([]SliceExec, max(n, min(128, max(16, 2*len(m.trace)))))
+			}
+			rec.Slices, m.sliceArena = m.sliceArena[:0:n], m.sliceArena[n:]
 			for _, x := range m.execs {
 				rec.GroupCycles[x.g.Index] = x.ops + x.scalarOps + x.stall
 				rec.Slices = append(rec.Slices, x.slices...)
+			}
+			if m.trace == nil {
+				m.trace = make([]*StepRecord, 0, 16)
 			}
 			m.trace = append(m.trace, rec)
 		}
@@ -147,7 +169,7 @@ func (m *Machine) runStep(plan StepPlan) error {
 }
 
 func (m *Machine) anyReadyAnywhere() bool {
-	for _, f := range m.flows {
+	for _, f := range m.flowList {
 		if f.State == tcf.Ready {
 			return true
 		}

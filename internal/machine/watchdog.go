@@ -70,7 +70,7 @@ func (d *watchdog) observe(m *Machine) bool {
 // only state the machine can change.
 func (m *Machine) stateDigest() uint64 {
 	var h uint64
-	for _, f := range m.flows {
+	for _, f := range m.flowList {
 		if f.State != tcf.Done {
 			h ^= f.StateDigest()
 		}

@@ -152,6 +152,9 @@ type Shared struct {
 	// shards[m] buffers the step's writes whose home module is m. The
 	// per-shard backing arrays are retained across steps.
 	shards [][]Write
+	// bwScratch holds BufferWrites' per-module counts/cursors between its
+	// two passes (lazily sized, retained across calls).
+	bwScratch []int
 
 	// Counters.
 	reads      int64
@@ -172,13 +175,14 @@ func NewShared(words, modules int, policy Policy) (*Shared, error) {
 	for i := range remap {
 		remap[i] = i
 	}
-	nPages := (words + pageWords - 1) / pageWords
 	modMask := int64(-1)
 	if modules&(modules-1) == 0 {
 		modMask = int64(modules - 1)
 	}
+	// The page table itself materializes on first write: a machine whose
+	// program never touches shared memory pays nothing for it.
 	return &Shared{
-		pages: make([][]int64, nPages), size: int64(words),
+		size:    int64(words),
 		modules: modules, modMask: modMask, policy: policy,
 		remap: remap, failed: make([]bool, modules),
 		shards: make([][]Write, modules),
@@ -280,10 +284,18 @@ func (s *Shared) FailModule(m int) error {
 func (s *Shared) InRange(addr int64) bool { return addr >= 0 && addr < s.size }
 
 // page returns the page backing addr, or nil if it was never written.
-func (s *Shared) page(addr int64) []int64 { return s.pages[addr>>pageShift] }
+func (s *Shared) page(addr int64) []int64 {
+	if s.pages == nil {
+		return nil
+	}
+	return s.pages[addr>>pageShift]
+}
 
 // ensurePage materializes the page backing addr and returns it.
 func (s *Shared) ensurePage(addr int64) []int64 {
+	if s.pages == nil {
+		s.pages = make([][]int64, (s.size+pageWords-1)>>pageShift)
+	}
 	i := addr >> pageShift
 	p := s.pages[i]
 	if p == nil {
@@ -312,6 +324,36 @@ func (s *Shared) Peek(addr int64) int64 {
 	return p[addr&(pageWords-1)]
 }
 
+// Reader is a page-cached read cursor for dense read runs: Peek through a
+// Reader resolves the page table only when the address crosses a page
+// boundary. Value type, zero-allocation; reads see the same pre-step image
+// as Shared.Peek.
+type Reader struct {
+	s     *Shared
+	pgIdx int64
+	pg    []int64
+}
+
+// Reader returns a fresh read cursor over s.
+func (s *Shared) Reader() Reader { return Reader{s: s, pgIdx: -1} }
+
+// Peek reads without counting, caching the last-touched page.
+func (r *Reader) Peek(addr int64) int64 {
+	if !r.s.InRange(addr) {
+		return 0
+	}
+	if idx := addr >> pageShift; idx != r.pgIdx {
+		r.pgIdx, r.pg = idx, nil
+		if r.s.pages != nil {
+			r.pg = r.s.pages[idx]
+		}
+	}
+	if r.pg == nil {
+		return 0
+	}
+	return r.pg[addr&(pageWords-1)]
+}
+
 // Poke writes immediately without buffering (program loading, tests).
 func (s *Shared) Poke(addr int64, val int64) {
 	if s.InRange(addr) {
@@ -319,14 +361,16 @@ func (s *Shared) Poke(addr int64, val int64) {
 	}
 }
 
-// Load preloads a data segment.
+// Load preloads a data segment, page-wise.
 func (s *Shared) Load(addr int64, words []int64) error {
 	if addr < 0 || addr+int64(len(words)) > s.size {
 		return fmt.Errorf("mem: data segment [%d,%d) out of range [0,%d)", addr, addr+int64(len(words)), s.size)
 	}
-	for i, w := range words {
-		a := addr + int64(i)
-		s.ensurePage(a)[a&(pageWords-1)] = w
+	for len(words) > 0 {
+		p := s.ensurePage(addr)
+		n := copy(p[addr&(pageWords-1):], words)
+		words = words[n:]
+		addr += int64(n)
 	}
 	return nil
 }
@@ -345,6 +389,51 @@ func (s *Shared) BufferWrite(addr, val int64, key Key) {
 	}
 	m := s.HomeModuleOf(addr)
 	s.shards[m] = append(s.shards[m], Write{Addr: addr, Val: val, Key: key})
+}
+
+// BufferWrites buffers a batch of stores with the per-call overhead (range
+// check, parallel-mode page touch, module lookup) amortized over the batch.
+// The result is identical to calling BufferWrite per element in order: shard
+// resolution sorts each shard by (addr, key) in ApplyStep, so insertion
+// order never matters. Two passes — count per module, grow each shard once,
+// fill by index — so the hot loop stores plain values instead of running an
+// append (with its slice-header write barrier) per element.
+func (s *Shared) BufferWrites(ws []Write) {
+	if len(s.bwScratch) < s.modules {
+		s.bwScratch = make([]int, s.modules)
+	}
+	cur := s.bwScratch[:s.modules]
+	clear(cur)
+	for i := range ws {
+		w := &ws[i]
+		if !s.InRange(w.Addr) {
+			continue
+		}
+		if s.par {
+			s.ensurePage(w.Addr)
+		}
+		cur[s.HomeModuleOf(w.Addr)]++
+	}
+	for m, n := range cur {
+		if n == 0 {
+			continue
+		}
+		sh := s.shards[m]
+		cur[m] = len(sh) // becomes the fill cursor
+		if need := len(sh) + n; need > cap(sh) {
+			sh = append(make([]Write, 0, max(need, 2*cap(sh))), sh...)
+		}
+		s.shards[m] = sh[:len(sh)+n]
+	}
+	for i := range ws {
+		w := &ws[i]
+		if !s.InRange(w.Addr) {
+			continue
+		}
+		m := s.HomeModuleOf(w.Addr)
+		s.shards[m][cur[m]] = *w
+		cur[m]++
+	}
 }
 
 // PendingWrites returns the number of writes buffered in the current step.
@@ -442,7 +531,12 @@ func (s *Shared) applyShard(ws []Write) (conflicts []Conflict, done int64) {
 	if len(ws) == 0 {
 		return nil, 0
 	}
-	slices.SortFunc(ws, compareWrites)
+	// Bulk store kernels emit writes in ascending thread (= address) order,
+	// so shards very often arrive sorted; the O(n) check beats re-sorting.
+	if !slices.IsSortedFunc(ws, compareWrites) {
+		slices.SortFunc(ws, compareWrites)
+	}
+	pgIdx, pg := int64(-1), []int64(nil)
 	for i := 0; i < len(ws); {
 		j := i + 1
 		for j < len(ws) && ws[j].Addr == ws[i].Addr {
@@ -451,8 +545,13 @@ func (s *Shared) applyShard(ws []Write) (conflicts []Conflict, done int64) {
 			}
 			j++
 		}
-		// Lowest key wins (deterministic Arbitrary; exact Priority).
-		s.ensurePage(ws[i].Addr)[ws[i].Addr&(pageWords-1)] = ws[i].Val
+		// Lowest key wins (deterministic Arbitrary; exact Priority). The
+		// address order makes the page change rarely; cache it.
+		a := ws[i].Addr
+		if idx := a >> pageShift; idx != pgIdx {
+			pgIdx, pg = idx, s.ensurePage(a)
+		}
+		pg[a&(pageWords-1)] = ws[i].Val
 		done++
 		i = j
 	}

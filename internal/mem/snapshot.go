@@ -89,8 +89,14 @@ func (s *Shared) DecodeFrom(d *checkpoint.Decoder) error {
 	if err := d.Err(); err != nil {
 		return err
 	}
-	if n < 0 || n > len(s.pages) {
-		return fmt.Errorf("mem: snapshot page count %d outside [0,%d]", n, len(s.pages))
+	// The page table is lazily materialized, so validate against the
+	// address-space capacity, not the (possibly still nil) table.
+	nPages := int((s.size + pageWords - 1) >> pageShift)
+	if n < 0 || n > nPages {
+		return fmt.Errorf("mem: snapshot page count %d outside [0,%d]", n, nPages)
+	}
+	if n > 0 && s.pages == nil {
+		s.pages = make([][]int64, nPages)
 	}
 	for k := 0; k < n; k++ {
 		i := d.Int()
@@ -98,8 +104,8 @@ func (s *Shared) DecodeFrom(d *checkpoint.Decoder) error {
 		if err := d.Err(); err != nil {
 			return err
 		}
-		if i < 0 || i >= len(s.pages) {
-			return fmt.Errorf("mem: snapshot page index %d outside [0,%d)", i, len(s.pages))
+		if i < 0 || i >= nPages {
+			return fmt.Errorf("mem: snapshot page index %d outside [0,%d)", i, nPages)
 		}
 		if len(words) != pageWords {
 			return fmt.Errorf("mem: snapshot page %d holds %d words, want %d", i, len(words), pageWords)

@@ -81,6 +81,24 @@ func NewCombiner(kind isa.Op) *Combiner {
 	return &Combiner{kind: kind}
 }
 
+// NewCombinerBank builds one combiner per kind, all backed by a single
+// allocation (a machine carries five; fresh machines are built in hot
+// harness loops).
+func NewCombinerBank(kinds []isa.Op) []*Combiner {
+	arr := make([]Combiner, len(kinds))
+	out := make([]*Combiner, len(kinds))
+	for i, kind := range kinds {
+		switch kind {
+		case isa.ADD, isa.AND, isa.OR, isa.MAX, isa.MIN:
+		default:
+			panic(fmt.Sprintf("multiop: invalid combining operator %s", kind))
+		}
+		arr[i].kind = kind
+		out[i] = &arr[i]
+	}
+	return out
+}
+
 // Kind returns the combining operator.
 func (c *Combiner) Kind() isa.Op { return c.kind }
 

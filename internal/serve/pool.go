@@ -15,6 +15,7 @@ import (
 // lease through SetLimits, so tenants with different quotas share one pool.
 type poolKey struct {
 	variant       variant.Kind
+	backend       machine.Backend
 	groups, procs int
 	sharedWords   int
 	localWords    int
@@ -41,6 +42,7 @@ func keyOf(cfg machine.Config) (poolKey, error) {
 	}
 	return poolKey{
 		variant:       cfg.Variant,
+		backend:       cfg.Backend,
 		groups:        cfg.Groups,
 		procs:         cfg.ProcsPerGroup,
 		sharedWords:   cfg.SharedWords,
@@ -160,12 +162,16 @@ func (p *MachinePool) Close() {
 }
 
 // PoolCounters is a point-in-time snapshot of the pool's reuse accounting.
+// IdleByBackend splits the idle machines by step-engine backend so
+// mixed-backend pools (tenants with different backend defaults) stay
+// observable through /metrics.
 type PoolCounters struct {
-	Hits     int64 `json:"hits"`
-	Misses   int64 `json:"misses"`
-	Discards int64 `json:"discards"`
-	Full     int64 `json:"full"`
-	Idle     int   `json:"idle"`
+	Hits          int64          `json:"hits"`
+	Misses        int64          `json:"misses"`
+	Discards      int64          `json:"discards"`
+	Full          int64          `json:"full"`
+	Idle          int            `json:"idle"`
+	IdleByBackend map[string]int `json:"idle_by_backend,omitempty"`
 }
 
 // Counters returns the pool's reuse accounting.
@@ -173,8 +179,16 @@ func (p *MachinePool) Counters() PoolCounters {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	idle := 0
-	for _, list := range p.idle {
+	byBackend := make(map[string]int)
+	for key, list := range p.idle {
 		idle += len(list)
+		if len(list) > 0 {
+			byBackend[key.backend.String()] += len(list)
+		}
 	}
-	return PoolCounters{Hits: p.hits, Misses: p.misses, Discards: p.discards, Full: p.full, Idle: idle}
+	if len(byBackend) == 0 {
+		byBackend = nil
+	}
+	return PoolCounters{Hits: p.hits, Misses: p.misses, Discards: p.discards, Full: p.full,
+		Idle: idle, IdleByBackend: byBackend}
 }

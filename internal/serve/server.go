@@ -70,6 +70,10 @@ type Limits struct {
 	MaxSourceBytes int
 	// MaxInFlight caps the tenant's concurrent runs (→ 429).
 	MaxInFlight int
+	// Backend is the tenant's default step-engine backend ("interp" or
+	// "fused"; empty inherits the server default, which is interp). A
+	// request may override it per run with its own "backend" field.
+	Backend string
 }
 
 func defaultLimits() Limits {
@@ -102,6 +106,9 @@ func (l Limits) withDefaults(d Limits) Limits {
 	}
 	if l.MaxInFlight <= 0 {
 		l.MaxInFlight = d.MaxInFlight
+	}
+	if l.Backend == "" {
+		l.Backend = d.Backend
 	}
 	return l
 }
@@ -320,6 +327,9 @@ type runRequest struct {
 	// runtime cross-checker (default "crew" for vet, off at runtime when
 	// empty).
 	Discipline string `json:"discipline"`
+	// Backend selects the step-engine backend ("interp" or "fused"; empty
+	// takes the tenant's default).
+	Backend string `json:"backend"`
 	// Machine shape; zero fields take the variant defaults, capped by the
 	// server's MaxGroups/MaxProcs and the tenant's MaxSharedWords.
 	Groups      int `json:"groups"`
@@ -580,6 +590,15 @@ func (s *Server) runAdmitted(reqCtx context.Context, req *runRequest, tenantName
 // and the tenant's quota, returning the pooled-machine configuration.
 func (s *Server) buildConfig(req *runRequest, vk variant.Kind, runDisc mem.Discipline, lim Limits) (machine.Config, *runResponse, int) {
 	cfg := machine.Default(vk)
+	backendName := req.Backend
+	if backendName == "" {
+		backendName = lim.Backend
+	}
+	backend, err := machine.ParseBackend(backendName)
+	if err != nil {
+		return cfg, &runResponse{Outcome: outcomeBadRequest, Error: err.Error()}, http.StatusBadRequest
+	}
+	cfg.Backend = backend
 	if req.Groups > 0 {
 		cfg.Groups = req.Groups
 	}

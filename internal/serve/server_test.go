@@ -526,6 +526,46 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestBackendSelection covers the fused-backend plumbing: a request's
+// "backend" field and a tenant's Backend default both reach the machine
+// config, machines pooled under different backends are kept apart, and
+// /metrics splits the idle counts per backend.
+func TestBackendSelection(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Tenants: map[string]Limits{"fusedtenant": {Backend: "fused"}},
+	})
+
+	// Request-level override on the default tenant.
+	if status, _, resp := post(t, ts, "", runRequest{Source: validSrc, Backend: "fused"}); status != 200 || len(resp.Outputs) == 0 || resp.Outputs[0].Values[0] != 42 {
+		t.Fatalf("fused run: %d %+v", status, resp)
+	}
+	// Tenant-level default, no request field.
+	if status, _, resp := post(t, ts, "fusedtenant", runRequest{Source: validSrc}); status != 200 || len(resp.Outputs) == 0 || resp.Outputs[0].Values[0] != 42 {
+		t.Fatalf("tenant-default fused run: %d %+v", status, resp)
+	}
+	// Interp run on the default tenant (empty everywhere = interp).
+	if status, _, resp := post(t, ts, "", runRequest{Source: validSrc}); status != 200 || len(resp.Outputs) == 0 || resp.Outputs[0].Values[0] != 42 {
+		t.Fatalf("interp run: %d %+v", status, resp)
+	}
+	// A bad backend name is a 400, not a server error.
+	if status, _, resp := post(t, ts, "", runRequest{Source: validSrc, Backend: "jit"}); status != 400 || resp.Outcome != outcomeBadRequest {
+		t.Fatalf("bad backend: %d %+v", status, resp)
+	}
+
+	hres, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hres.Body.Close()
+	var snap MetricsSnapshot
+	if err := json.NewDecoder(hres.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Pool.IdleByBackend["fused"] == 0 || snap.Pool.IdleByBackend["interp"] == 0 {
+		t.Fatalf("expected idle machines under both backends, got %+v", snap.Pool.IdleByBackend)
+	}
+}
+
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)

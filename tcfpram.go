@@ -115,6 +115,23 @@ func ParseVariant(s string) (Variant, error) { return variant.ParseKind(s) }
 // one.
 type Config = machine.Config
 
+// Backend selects the step-engine execution strategy (Config.Backend): the
+// reference interpreter, or the fused-block compiled backend that runs
+// straight-line tcf-e instruction runs as precompiled Go closures. The two
+// are bit-identical on every program; the interpreter is the oracle.
+type Backend = machine.Backend
+
+const (
+	// BackendInterp is the reference interpreter (the default).
+	BackendInterp = machine.BackendInterp
+	// BackendFused runs fuse-compiled kernels and bulk memory fast paths.
+	BackendFused = machine.BackendFused
+)
+
+// ParseBackend resolves a backend name ("interp" or "fused"; "" means
+// interp).
+func ParseBackend(s string) (Backend, error) { return machine.ParseBackend(s) }
+
 // FaultPlan is a deterministic, seeded fault schedule for Config.FaultPlan:
 // reference loss with retransmission, route detours, and memory-module
 // fail-stop with spare failover. Recoverable plans change cycle counts only;
