@@ -31,10 +31,24 @@ var benchBackend = func() machine.Backend {
 	return b
 }()
 
-// withBackend layers the selected backend under a benchmark's own tweak.
+// benchSched is the step scheduler the whole benchmark run uses, selected by
+// the TCFPRAM_SCHED environment variable ("lockstep" when unset, "dataflow"
+// for the group run-ahead scheduler) — the same keep-names-identical pattern
+// as TCFPRAM_BACKEND, so scheduler runs line up in `benchjson -compare`.
+var benchSched = func() machine.Sched {
+	s, err := machine.ParseSched(os.Getenv("TCFPRAM_SCHED"))
+	if err != nil {
+		panic("TCFPRAM_SCHED: " + err.Error())
+	}
+	return s
+}()
+
+// withBackend layers the selected backend and scheduler under a benchmark's
+// own tweak.
 func withBackend(tweak func(*machine.Config)) func(*machine.Config) {
 	return func(c *machine.Config) {
 		c.Backend = benchBackend
+		c.Sched = benchSched
 		if tweak != nil {
 			tweak(c)
 		}
@@ -292,16 +306,33 @@ func BenchmarkS4h_Allocation(b *testing.B) {
 
 // ---- Engine throughput (simulator performance, not paper claims) ----
 
+// BenchmarkEngine_StepThroughput measures the step engines on a workload
+// where scaling is actually possible: eight independent TCFs spread across
+// the groups, each looping over its own memory slice (the old single-flow
+// vector add occupied one group, so the parallel engine had nothing to
+// overlap). The serial sub-benchmark is the baseline; the engine variants
+// report their serial-vs-X speedup as a metric.
 func BenchmarkEngine_StepThroughput(b *testing.B) {
-	for _, par := range []bool{false, true} {
-		name := "serial"
-		if par {
-			name = "parallel"
-		}
-		b.Run(name, func(b *testing.B) {
-			benchWorkload(b, variant.SingleInstruction,
-				workload.VectorAdd(workload.StyleTCF, 4096, 0, 0),
-				func(c *machine.Config) { c.Parallel = par })
+	w := workload.GroupParallel(8, 512, 100)
+	var serialNs float64
+	cases := []struct {
+		name  string
+		tweak func(*machine.Config)
+	}{
+		{"serial", nil},
+		{"parallel", func(c *machine.Config) { c.Parallel = true }},
+		{"dataflow", func(c *machine.Config) { c.Sched = machine.SchedDataflow }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			benchWorkload(b, variant.SingleInstruction, w, tc.tweak)
+			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if tc.name == "serial" {
+				serialNs = ns
+			} else if serialNs > 0 {
+				b.ReportMetric(serialNs/ns, "speedup")
+			}
 		})
 	}
 }

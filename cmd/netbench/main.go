@@ -5,7 +5,8 @@
 // fault plans of increasing intensity and reports the throughput/latency
 // degradation curve plus the recovery work (retransmissions, re-routes)
 // that kept delivery lossless. A closing section reports the step-engine
-// throughput of the vector-add workload under -backend interp|fused.
+// throughput of the vector-add workload under -backend interp|fused and
+// -sched lockstep|dataflow.
 //
 // Usage:
 //
@@ -45,6 +46,7 @@ func run() error {
 	patterns := flag.String("patterns", "", "comma-separated traffic patterns (default: all)")
 	faults := flag.Bool("faults", false, "sweep fault intensity and report degradation curves")
 	backendName := flag.String("backend", "", "step-engine backend for the machine throughput section: interp|fused")
+	schedName := flag.String("sched", "", "step scheduler for the machine throughput section: lockstep|dataflow")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -125,17 +127,21 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	sched, err := machine.ParseSched(*schedName)
+	if err != nil {
+		return err
+	}
 	const vecSize, reps = 1024, 64
 	start := time.Now()
 	var steps int64
 	for i := 0; i < reps; i++ {
 		m := exper.MustRun(variant.SingleInstruction,
 			workload.VectorAdd(workload.StyleTCF, vecSize, 16, 0),
-			func(c *machine.Config) { c.Backend = backend })
+			func(c *machine.Config) { c.Backend = backend; c.Sched = sched })
 		steps += m.Stats().Steps
 	}
 	el := time.Since(start)
-	fmt.Printf("\nstep-engine throughput, vector add (%d lanes) x %d runs, backend=%s\n", vecSize, reps, backend)
+	fmt.Printf("\nstep-engine throughput, vector add (%d lanes) x %d runs, backend=%s sched=%s\n", vecSize, reps, backend, sched)
 	fmt.Printf("steps=%d elapsed=%v steps/sec=%.0f\n", steps, el.Round(time.Millisecond), float64(steps)/el.Seconds())
 
 	if *faults {

@@ -267,6 +267,42 @@ func main() {
 	}
 }
 
+// TestSchedFlag: -sched dataflow produces output identical to the lockstep
+// default (the scheduler is result-neutral), shows up in the -stages header,
+// and rejects unknown names.
+func TestSchedFlag(t *testing.T) {
+	path := write(t, "p.te", `
+shared int c[8] @ 300;
+func main() {
+    #8;
+    c[tid] = tid * 3;
+    print(radd(c[tid]));
+}
+`)
+	var lock, df bytes.Buffer
+	if err := run([]string{"-mem", "300:8", path}, &lock); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sched", "dataflow", "-mem", "300:8", path}, &df); err != nil {
+		t.Fatal(err)
+	}
+	if lock.String() != df.String() {
+		t.Fatalf("-sched dataflow changed results:\nlockstep:\n%s\ndataflow:\n%s", lock.String(), df.String())
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-sched", "dataflow", "-stages", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sched=dataflow") {
+		t.Fatalf("-stages header missing sched:\n%s", out.String())
+	}
+
+	if err := run([]string{"-sched", "bogus", path}, &out); err == nil {
+		t.Fatal("expected error for unknown -sched")
+	}
+}
+
 // TestResumeFlagErrors: -resume rejects a program argument, a missing file,
 // and a mismatched machine shape.
 func TestResumeFlagErrors(t *testing.T) {

@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tcfpram/internal/fault"
+	"tcfpram/internal/machine"
+	"tcfpram/internal/variant"
+)
+
+func dataflowSched(c *machine.Config) { c.Sched = machine.SchedDataflow }
+
+// TestDataflowSchedulerDifferential is the oracle check of the dataflow
+// scheduler at the corpus level: every tcf-e program, under every variant
+// policy, on both backends, produces outputs, a shared-memory image and
+// complete model statistics bit-identical to the lockstep engine's.
+func TestDataflowSchedulerDifferential(t *testing.T) {
+	backends := []struct {
+		name  string
+		tweak func(*machine.Config)
+	}{
+		{"interp", func(c *machine.Config) {}},
+		{"fused", fusedBackend},
+	}
+	for _, file := range corpusFiles(t) {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			c := compile(t, file)
+			for _, kind := range allKinds {
+				for _, be := range backends {
+					withDF := func(cfg *machine.Config) {
+						be.tweak(cfg)
+						dataflowSched(cfg)
+					}
+					lock, lockStats, lockErr := runLoose(t, c, kind, be.tweak)
+					df, dfStats, dfErr := runLoose(t, c, kind, withDF)
+					if errString(lockErr) != errString(dfErr) {
+						t.Fatalf("%v/%s: run errors diverged:\nlockstep %v\ndataflow %v",
+							kind, be.name, lockErr, dfErr)
+					}
+					if !reflect.DeepEqual(lock.outputs, df.outputs) {
+						t.Fatalf("%v/%s: outputs diverged:\nlockstep %v\ndataflow %v",
+							kind, be.name, lock.outputs, df.outputs)
+					}
+					if !reflect.DeepEqual(lock.memory, df.memory) {
+						t.Fatalf("%v/%s: shared memory diverged", kind, be.name)
+					}
+					if !reflect.DeepEqual(*lockStats, *dfStats) {
+						t.Fatalf("%v/%s: stats diverged:\nlockstep %+v\ndataflow %+v",
+							kind, be.name, *lockStats, *dfStats)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDataflowChaosDifferential runs the corpus under recoverable fault plans
+// with the dataflow scheduler: fault plans force strict stepping, and the
+// fault decisions (keyed off per-reference sequence numbers) must reproduce
+// the lockstep stream exactly — identical retransmit/reroute/failover
+// counters prove it.
+func TestDataflowChaosDifferential(t *testing.T) {
+	kinds := []variant.Kind{variant.SingleInstruction, variant.Balanced}
+	groups := machine.Default(variant.SingleInstruction).Groups
+	plans := []*fault.Plan{
+		fault.Random(1, groups, groups),
+		fault.Random(2, groups, groups),
+	}
+	var retransmits int64
+	for _, file := range corpusFiles(t) {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			c := compile(t, file)
+			for _, kind := range kinds {
+				for i, plan := range plans {
+					lock, lockStats := run(t, c, kind, plan)
+					df, dfStats := runCfg(t, c, kind, plan, dataflowSched)
+					if !reflect.DeepEqual(lock.outputs, df.outputs) {
+						t.Fatalf("%v plan %d: outputs diverged:\nlockstep %v\ndataflow %v",
+							kind, i, lock.outputs, df.outputs)
+					}
+					if !reflect.DeepEqual(lock.memory, df.memory) {
+						t.Fatalf("%v plan %d: shared memory diverged", kind, i)
+					}
+					if !reflect.DeepEqual(*lockStats, *dfStats) {
+						t.Fatalf("%v plan %d: stats diverged:\nlockstep %+v\ndataflow %+v",
+							kind, i, *lockStats, *dfStats)
+					}
+					retransmits += dfStats.Retransmits
+				}
+			}
+		})
+	}
+	if retransmits == 0 {
+		t.Fatal("no retransmissions across the dataflow chaos sweep; plans injected nothing")
+	}
+}
+
+// TestDataflowLaneParallelDifferential stacks all three concurrency layers —
+// dataflow group run-ahead, the pooled step engine, and lane chunking — and
+// demands bit-identity against the fully serial lockstep engine.
+func TestDataflowLaneParallelDifferential(t *testing.T) {
+	stacked := func(c *machine.Config) {
+		c.Parallel = true
+		c.LaneParallelThreshold = 1
+		dataflowSched(c)
+	}
+	var laneChunks int64
+	for _, file := range corpusFiles(t) {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			c := compile(t, file)
+			serial, serialStats := run(t, c, variant.SingleInstruction, nil)
+			df, dfStats := runCfg(t, c, variant.SingleInstruction, nil, stacked)
+			if !reflect.DeepEqual(serial.outputs, df.outputs) {
+				t.Fatalf("outputs diverged:\nserial   %v\nstacked  %v", serial.outputs, df.outputs)
+			}
+			if !reflect.DeepEqual(serial.memory, df.memory) {
+				t.Fatal("shared memory diverged")
+			}
+			// Only the wall-clock chunk counter may differ between the
+			// serial and chunked engines.
+			laneChunks += dfStats.LaneChunks
+			a, b := *serialStats, *dfStats
+			a.LaneChunks, b.LaneChunks = 0, 0
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("stats diverged:\nserial  %+v\nstacked %+v", a, b)
+			}
+		})
+	}
+	if laneChunks == 0 {
+		t.Fatal("lane chunking never engaged under the stacked engines; the differential proved nothing")
+	}
+}

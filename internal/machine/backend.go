@@ -2,6 +2,7 @@ package machine
 
 import (
 	"tcfpram/internal/isa"
+	"tcfpram/internal/mem"
 	"tcfpram/internal/tcf"
 )
 
@@ -56,61 +57,76 @@ func (bk *backend) merge() (int64, error) {
 			m.runErr = x.err
 			return 0, x.err
 		}
-		m.shared.BufferWrites(x.writes)
-		for i := range x.contribs {
-			pc := &x.contribs[i]
-			c := pc.c
-			if pc.hasRoute {
-				m.routes = append(m.routes, pc.route)
-				c.Dest = len(m.routes) - 1
-			}
-			m.combiners[combinerIndex(pc.kind)].Add(c)
-		}
-		m.stepOutputs = append(m.stepOutputs, x.outputs...)
-		m.stepEvents = append(m.stepEvents, x.events...)
-		m.discAccs = append(m.discAccs, x.accs...)
-
-		opsCycles := x.ops + x.scalarOps
-		var overhead int64
-		if x.fetches > 0 {
-			overhead = int64(m.cfg.PipelineDepth)
-			if x.anyShared {
-				if l := int64(m.cfg.MemLatencyBase + x.maxDist); l > overhead {
-					overhead = l
-				}
-			}
-		}
-		gc := opsCycles + overhead + x.stall + x.faultStall
+		gc := m.foldGroup(x.g.Index, &x.groupCounters,
+			x.writes, x.contribs, x.outputs, x.events, x.accs)
 		if gc > stepCycles {
 			stepCycles = gc
 		}
-		gi := x.g.Index
-		m.stats.PerGroupOps[gi] += opsCycles
-		m.stats.PerGroupCycles[gi] += gc
-		m.stats.Ops += x.ops
-		m.stats.ScalarOps += x.scalarOps
-		m.stats.InstrFetches += x.fetches
-		m.stats.SharedReads += x.sharedReads
-		m.stats.SharedWrites += x.sharedWrites
-		m.stats.LocalReads += x.localReads
-		m.stats.LocalWrites += x.localWrites
-		m.stats.MultiopRefs += x.multiopRefs
-		m.stats.OverheadCycles += overhead
-		m.stats.StallCycles += x.stall
-		m.stats.FaultStallCycles += x.faultStall
-		m.stats.Retransmits += x.retransmits
-		m.stats.Reroutes += x.reroutes
-		m.stats.Barriers += x.barriers
-		m.stats.LaneChunks += x.laneChunks
-
-		m.stats.Stages[StageOpGen].Cycles += opsCycles
-		m.stats.Stages[StageOpGen].Events += x.fetches
-		m.stats.Stages[StageMemory].Cycles += overhead + x.stall + x.faultStall
-		m.stats.Stages[StageMemory].Events += x.sharedReads + x.sharedWrites +
-			x.localReads + x.localWrites + x.multiopRefs
-		m.stats.Stages[StageCommit].Events += int64(len(x.writes) + len(x.contribs))
 	}
 	return stepCycles, nil
+}
+
+// foldGroup folds one group's generated step into the machine: buffered
+// writes and combining contributions move toward the commit stage, outputs
+// and deferred events are collected, statistics and per-stage attribution
+// accumulate. It returns the group's cycle count for the step (the step's
+// cycle count is the maximum over groups). Shared by the lockstep merge
+// (reading the groupExec arenas directly) and the dataflow committer
+// (reading published step packets); both call it in group-index order,
+// which is what makes the two schedulers bit-identical.
+func (m *Machine) foldGroup(gi int, c *groupCounters,
+	writes []mem.Write, contribs []pendingContrib, outputs []Output,
+	events []deferredEvent, accs []discAcc) int64 {
+	m.shared.BufferWrites(writes)
+	for i := range contribs {
+		pc := &contribs[i]
+		cb := pc.c
+		if pc.hasRoute {
+			m.routes = append(m.routes, pc.route)
+			cb.Dest = len(m.routes) - 1
+		}
+		m.combiners[combinerIndex(pc.kind)].Add(cb)
+	}
+	m.stepOutputs = append(m.stepOutputs, outputs...)
+	m.stepEvents = append(m.stepEvents, events...)
+	m.discAccs = append(m.discAccs, accs...)
+
+	opsCycles := c.ops + c.scalarOps
+	var overhead int64
+	if c.fetches > 0 {
+		overhead = int64(m.cfg.PipelineDepth)
+		if c.anyShared {
+			if l := int64(m.cfg.MemLatencyBase + c.maxDist); l > overhead {
+				overhead = l
+			}
+		}
+	}
+	gc := opsCycles + overhead + c.stall + c.faultStall
+	m.stats.PerGroupOps[gi] += opsCycles
+	m.stats.PerGroupCycles[gi] += gc
+	m.stats.Ops += c.ops
+	m.stats.ScalarOps += c.scalarOps
+	m.stats.InstrFetches += c.fetches
+	m.stats.SharedReads += c.sharedReads
+	m.stats.SharedWrites += c.sharedWrites
+	m.stats.LocalReads += c.localReads
+	m.stats.LocalWrites += c.localWrites
+	m.stats.MultiopRefs += c.multiopRefs
+	m.stats.OverheadCycles += overhead
+	m.stats.StallCycles += c.stall
+	m.stats.FaultStallCycles += c.faultStall
+	m.stats.Retransmits += c.retransmits
+	m.stats.Reroutes += c.reroutes
+	m.stats.Barriers += c.barriers
+	m.stats.LaneChunks += c.laneChunks
+
+	m.stats.Stages[StageOpGen].Cycles += opsCycles
+	m.stats.Stages[StageOpGen].Events += c.fetches
+	m.stats.Stages[StageMemory].Cycles += overhead + c.stall + c.faultStall
+	m.stats.Stages[StageMemory].Events += c.sharedReads + c.sharedWrites +
+		c.localReads + c.localWrites + c.multiopRefs
+	m.stats.Stages[StageCommit].Events += int64(len(writes) + len(contribs))
+	return gc
 }
 
 // commit is the writeback stage: buffered writes apply with the configured

@@ -64,6 +64,12 @@ type Config struct {
 	// Backend). Results are bit-identical across backends.
 	Backend Backend
 
+	// Sched selects the step scheduling discipline (SchedLockstep by
+	// default; see Sched). Results are bit-identical across schedulers:
+	// SchedDataflow overlaps the groups' step generation across step
+	// boundaries but commits in the exact lockstep order.
+	Sched Sched
+
 	// Groups is P, the number of processor groups (physical pipelines).
 	Groups int
 	// ProcsPerGroup is Tp, the TCF processor slots per group (the capacity
@@ -287,6 +293,9 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.Backend != BackendInterp && c.Backend != BackendFused {
 		return c, fmt.Errorf("machine: unknown backend %d", int(c.Backend))
+	}
+	if c.Sched != SchedLockstep && c.Sched != SchedDataflow {
+		return c, fmt.Errorf("machine: unknown scheduler %d", int(c.Sched))
 	}
 	return c, nil
 }

@@ -1,0 +1,559 @@
+package machine
+
+// Differential testing of the dataflow scheduler: every observable of a run
+// (outputs, memory image, complete statistics, the step trace, and the error
+// if any) must be bit-identical between Config.Sched = SchedLockstep and
+// SchedDataflow — the lockstep engine is the oracle. The cases target each
+// dependency edge the dataflow board gates on: cross-group memory
+// dependencies (the frontier), hazards (splits/joins/barriers/combining),
+// fences (task rotation), strict-mode features (fault plans, preemption,
+// watchdog, discipline, Common writes), and the stop conditions (MaxSteps,
+// deadlock, cancellation, checkpoint boundaries).
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tcfpram/internal/isa"
+	"tcfpram/internal/mem"
+	"tcfpram/internal/tcf"
+	"tcfpram/internal/variant"
+)
+
+func dataflowOn(c *Config) { c.Sched = SchedDataflow }
+
+func dfErrStr(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// dfRunObs runs prog under the given scheduler with tracing on and captures
+// everything observable about the run.
+func dfRunObs(t *testing.T, prog *isa.Program, kind variant.Kind, sched Sched, tweak func(*Config)) (runSnapshot, []*StepRecord, string) {
+	t.Helper()
+	cfg := Default(kind)
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	cfg.Sched = sched
+	cfg.TraceEnabled = true
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := m.Run()
+	return snapshotOf(m), m.Trace(), dfErrStr(runErr)
+}
+
+// dfCompare demands bit-identity between the two schedulers on one program:
+// same error (message for message), same outputs, memory, statistics, and
+// per-step trace.
+func dfCompare(t *testing.T, prog *isa.Program, kind variant.Kind, tweak func(*Config)) {
+	t.Helper()
+	lock, lockTrace, lockErr := dfRunObs(t, prog, kind, SchedLockstep, tweak)
+	df, dfTrace, dfErr := dfRunObs(t, prog, kind, SchedDataflow, tweak)
+	if lockErr != dfErr {
+		t.Fatalf("%v: run errors diverged:\nlockstep %q\ndataflow %q", kind, lockErr, dfErr)
+	}
+	if !reflect.DeepEqual(lock.outputs, df.outputs) {
+		t.Fatalf("%v: outputs diverged:\nlockstep %v\ndataflow %v", kind, lock.outputs, df.outputs)
+	}
+	if !reflect.DeepEqual(lock.memory, df.memory) {
+		t.Fatalf("%v: shared memory diverged", kind)
+	}
+	if !reflect.DeepEqual(lock.stats, df.stats) {
+		t.Fatalf("%v: stats diverged:\nlockstep %+v\ndataflow %+v", kind, lock.stats, df.stats)
+	}
+	if !reflect.DeepEqual(lockTrace, dfTrace) {
+		t.Fatalf("%v: step traces diverged (%d vs %d records)", kind, len(lockTrace), len(dfTrace))
+	}
+}
+
+// TestDataflowDifferentialRandomPrograms runs the random race-free program
+// generator under every engine configuration the lockstep differential
+// covers, with the dataflow scheduler on both sides of each comparison.
+func TestDataflowDifferentialRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		dp := genDiffProgram(rng)
+		// Against the sequential reference.
+		runDiff(t, dp, variant.SingleInstruction, dataflowOn)
+		// Against the lockstep oracle, across engine configurations.
+		dfCompare(t, dp.prog, variant.SingleInstruction, nil)
+		dfCompare(t, dp.prog, variant.SingleInstruction, func(c *Config) { c.Parallel = true })
+		dfCompare(t, dp.prog, variant.SingleInstruction, func(c *Config) {
+			c.Parallel = true
+			c.LaneParallelThreshold = 4
+		})
+		for _, bound := range []int{1, 3, 7} {
+			bound := bound
+			dfCompare(t, dp.prog, variant.Balanced, func(c *Config) { c.BalancedBound = bound })
+		}
+		// MultiInstruction is immediate semantics: Sched=dataflow falls back
+		// to the lockstep engine, which must be a no-op.
+		dfCompare(t, dp.prog, variant.MultiInstruction, nil)
+		if !dp.hasReduction {
+			dfCompare(t, dp.prog, variant.SingleInstruction, func(c *Config) { c.AutoSplitThreshold = 4 })
+		}
+	}
+}
+
+// TestDataflowAllVariantsBothBackends sweeps all six policies crossed with
+// both backends over the standing test programs — the composition matrix the
+// scheduler must not disturb.
+func TestDataflowAllVariantsBothBackends(t *testing.T) {
+	kinds := []variant.Kind{
+		variant.SingleInstruction, variant.Balanced, variant.MultiInstruction,
+		variant.SingleOperation, variant.ConfigurableSingleOperation, variant.FixedThickness,
+	}
+	for name, src := range resetPrograms {
+		prog := isa.MustAssemble(name, src)
+		t.Run(name, func(t *testing.T) {
+			for _, kind := range kinds {
+				dfCompare(t, prog, kind, nil)
+				dfCompare(t, prog, kind, func(c *Config) { c.Backend = BackendFused })
+			}
+		})
+	}
+}
+
+// TestDataflowBarrierExchange: the BAR release decision is committer-global
+// (no flow anywhere still runnable); the dataflow engine may only take it
+// with every runner parked, and must take it at the same step.
+func TestDataflowBarrierExchange(t *testing.T) {
+	src := `
+main:
+    SPLIT 1 -> armA, 1 -> armB
+    HALT
+armA:
+    LDI S1, 10
+    ST 700, S1
+    BAR
+    LD S2, 701
+    ST 702, S2
+    JOIN
+armB:
+    LDI S1, 20
+    ST 701, S1
+    BAR
+    LD S2, 700
+    ST 703, S2
+    JOIN
+`
+	prog := isa.MustAssemble("barrier", src)
+	for _, kind := range []variant.Kind{variant.SingleInstruction, variant.Balanced} {
+		dfCompare(t, prog, kind, nil)
+		dfCompare(t, prog, kind, func(c *Config) { c.Parallel = true })
+	}
+	m := mustRun(t, variant.SingleInstruction, src, dataflowOn)
+	if a, b := m.Shared().Peek(702), m.Shared().Peek(703); a != 20 || b != 10 {
+		t.Fatalf("barrier exchange under dataflow got %d/%d, want 20/10", a, b)
+	}
+}
+
+// dfProducerConsumerSrc is the targeted cross-group memory dependency: the
+// consumer group polls a flag the producer group raises only after a long
+// private loop, while a third thick flow computes independently — the
+// consumer's run-ahead reads must block on the frontier until the producer's
+// flag write commits, or it would observe the flag early and finish in fewer
+// steps than lockstep.
+const dfProducerConsumerSrc = `
+main:
+    SPLIT 1 -> producer, 1 -> consumer, 6 -> mixer
+    HALT
+producer:
+    LDI S1, 0
+ploop:
+    ADD S1, S1, 1
+    SLT S2, S1, 25
+    BNEZ S2, ploop
+    LDI S3, 123
+    ST 700, S3
+    LDI S4, 1
+    ST 701, S4
+    JOIN
+consumer:
+cloop:
+    LD S1, 701
+    BEQZ S1, cloop
+    LD S2, 700
+    ST 702, S2
+    JOIN
+mixer:
+    TID V0
+    LDI S1, 0
+mloop:
+    ADD V1, V1, 3
+    ADD S1, S1, 1
+    SLT S2, S1, 40
+    BNEZ S2, mloop
+    ST V0+710, V1
+    JOIN
+`
+
+func TestDataflowProducerConsumer(t *testing.T) {
+	prog := isa.MustAssemble("prodcons", dfProducerConsumerSrc)
+	dfCompare(t, prog, variant.SingleInstruction, nil)
+	dfCompare(t, prog, variant.SingleInstruction, func(c *Config) { c.Parallel = true })
+	dfCompare(t, prog, variant.Balanced, nil)
+	m := mustRun(t, variant.SingleInstruction, dfProducerConsumerSrc, dataflowOn)
+	if got := m.Shared().Peek(702); got != 123 {
+		t.Fatalf("consumer read %d through the frontier, want 123", got)
+	}
+}
+
+// TestDataflowTimeSlicePreemption: preemptive multitasking is strict mode
+// (the quantum counts committed steps); an oversubscribed task set must
+// rotate identically.
+func TestDataflowTimeSlicePreemption(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("main:\n    SPLIT ")
+	for i := 0; i < 12; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("2 -> task")
+	}
+	b.WriteString("\n    HALT\ntask:\n")
+	b.WriteString(`    FID S0
+    TID V0
+    LDI S1, 0
+tloop:
+    ADD S1, S1, 1
+    SLT S2, S1, 9
+    BNEZ S2, tloop
+    MUL S3, S0, 4
+    ADD V0, V0, S3
+    ST V0+800, S1
+    JOIN
+`)
+	prog := isa.MustAssemble("timeslice", b.String())
+	for _, q := range []int64{1, 3} {
+		q := q
+		dfCompare(t, prog, variant.SingleInstruction, func(c *Config) { c.TimeSliceSteps = q })
+		dfCompare(t, prog, variant.Balanced, func(c *Config) { c.TimeSliceSteps = q })
+	}
+}
+
+// TestDataflowMaxSteps: the step quota must stop the run with the same error
+// and the same committed step count — runners may not overshoot.
+func TestDataflowMaxSteps(t *testing.T) {
+	prog := isa.MustAssemble("livelock", "main:\n    JMP main\n")
+	dfCompare(t, prog, variant.SingleInstruction, func(c *Config) { c.MaxSteps = 64 })
+	_, err := runSrc(t, variant.SingleInstruction, "main:\n    JMP main\n", func(c *Config) {
+		c.MaxSteps = 64
+		dataflowOn(c)
+	})
+	if !errors.Is(err, ErrMaxSteps) {
+		t.Fatalf("want ErrMaxSteps, got %v", err)
+	}
+}
+
+// TestDataflowWatchdog: the watchdog digests whole-machine state between
+// steps, so it forces strict stepping; the kill step must match lockstep
+// exactly.
+func TestDataflowWatchdog(t *testing.T) {
+	prog := isa.MustAssemble("livelock", "main:\n    JMP main\n")
+	dfCompare(t, prog, variant.SingleInstruction, func(c *Config) {
+		c.WatchdogSteps = 32
+		c.MaxSteps = 1 << 20
+	})
+	m, err := runSrc(t, variant.SingleInstruction, "main:\n    JMP main\n", func(c *Config) {
+		c.WatchdogSteps = 32
+		c.MaxSteps = 1 << 20
+		dataflowOn(c)
+	})
+	if !errors.Is(err, ErrDeadlock) || !strings.Contains(err.Error(), "watchdog") {
+		t.Fatalf("want the watchdog's ErrDeadlock, got %v", err)
+	}
+	if m.Stats().Steps >= 1<<20 {
+		t.Fatal("watchdog fired only at MaxSteps under dataflow")
+	}
+}
+
+// TestDataflowFaultPlans: fault plans are strict mode (module fail-stops
+// fire at exact step boundaries, reference faults key off refSeq); both
+// recoverable and unrecoverable plans must behave identically.
+func TestDataflowFaultPlans(t *testing.T) {
+	va := isa.MustAssemble("vector-add", vectorAddSrc)
+	pc := isa.MustAssemble("prodcons", dfProducerConsumerSrc)
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		dfCompare(t, va, variant.SingleInstruction, func(c *Config) { c.FaultPlan = recoverablePlan(seed) })
+		dfCompare(t, pc, variant.SingleInstruction, func(c *Config) { c.FaultPlan = recoverablePlan(seed) })
+	}
+	m := mustRun(t, variant.SingleInstruction, vectorAddSrc, func(c *Config) {
+		c.FaultPlan = recoverablePlan(9)
+		dataflowOn(c)
+	})
+	checkVectorAdd(t, m)
+	if m.Stats().Retransmits == 0 {
+		t.Fatal("recoverable plan injected nothing under dataflow")
+	}
+}
+
+// TestDataflowDisciplineViolation: the discipline audit runs on the
+// committer before commit; a violating step must stop the machine with the
+// lockstep error at the lockstep step.
+func TestDataflowDisciplineViolation(t *testing.T) {
+	// Every lane computes address 100 (tid*0) and reads it: distinct lanes
+	// on one word — a flow-common broadcast load would be exempt.
+	src := `
+main:
+    LDI S0, 8
+    SETTHICK S0
+    TID V0
+    MUL V2, V0, 0
+    LD V1, V2+100
+    HALT
+`
+	prog := isa.MustAssemble("erew-violation", src)
+	dfCompare(t, prog, variant.SingleInstruction, func(c *Config) { c.MemDiscipline = mem.DisciplineEREW })
+	_, err := runSrc(t, variant.SingleInstruction, src, func(c *Config) {
+		c.MemDiscipline = mem.DisciplineEREW
+		dataflowOn(c)
+	})
+	if !errors.Is(err, ErrDisciplineViolation) {
+		t.Fatalf("want ErrDisciplineViolation, got %v", err)
+	}
+}
+
+// TestDataflowCommonWritePolicy: Common-policy conflict detection happens at
+// commit (committer side), another strict-mode feature.
+func TestDataflowCommonWritePolicy(t *testing.T) {
+	src := `
+main:
+    LDI S0, 4
+    SETTHICK S0
+    TID V0
+    ST 600, V0
+    HALT
+`
+	prog := isa.MustAssemble("common-conflict", src)
+	dfCompare(t, prog, variant.SingleInstruction, func(c *Config) { c.WritePolicy = mem.Common })
+}
+
+// TestDataflowDeadlockDetection: the deadlock check scans the global flow
+// list, which the committer may only do with runners parked; the zero-ready
+// quiescence gate guarantees that exactly when a deadlock is possible.
+func TestDataflowDeadlockDetection(t *testing.T) {
+	run := func(sched Sched) error {
+		cfg := Default(variant.SingleInstruction)
+		cfg.Sched = sched
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.LoadProgram(isa.MustAssemble("t", "main:\n    HALT\n")); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Boot(); err != nil {
+			t.Fatal(err)
+		}
+		f := m.Flow(0)
+		f.State = tcf.Waiting
+		f.LiveChildren = 1 // the child that will never JOIN
+		_, err = m.Run()
+		return err
+	}
+	lockErr, dfErr := run(SchedLockstep), run(SchedDataflow)
+	if !errors.Is(dfErr, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", dfErr)
+	}
+	if dfErrStr(lockErr) != dfErrStr(dfErr) {
+		t.Fatalf("deadlock errors diverged:\nlockstep %q\ndataflow %q", dfErrStr(lockErr), dfErrStr(dfErr))
+	}
+}
+
+// TestDataflowCancellation: a canceled context stops the dataflow run with
+// the wrapped ErrCanceled; committed state stays consistent (no panic, no
+// leaked runners — the race detector covers the rest).
+func TestDataflowCancellation(t *testing.T) {
+	cfg := Default(variant.SingleInstruction)
+	cfg.Sched = SchedDataflow
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(isa.MustAssemble("t", "main:\n    JMP main\n")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.RunContext(ctx); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+// TestDataflowCheckpointCrossScheduler is the checkpoint half of the
+// refactor's contract: (a) a dataflow run writes byte-identical snapshots to
+// the lockstep run (runners drained to the exact boundary state), and (b)
+// any snapshot resumes bit-identically under either scheduler — Sched, like
+// Backend, is excluded from the snapshot's config fingerprint.
+func TestDataflowCheckpointCrossScheduler(t *testing.T) {
+	prog := isa.MustAssemble("prodcons", dfProducerConsumerSrc)
+	cfg := Default(variant.SingleInstruction)
+
+	runWithSink := func(sched Sched) (*memSink, runSnapshot) {
+		c := cfg
+		c.Sched = sched
+		sink := &memSink{}
+		c.CheckpointEvery = 3
+		c.CheckpointSink = sink
+		m, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.LoadProgram(prog); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sink, snapshotOf(m)
+	}
+
+	lockSink, want := runWithSink(SchedLockstep)
+	dfSink, got := runWithSink(SchedDataflow)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("checkpointed runs diverged:\nlockstep %+v\ndataflow %+v", want.stats, got.stats)
+	}
+	if len(lockSink.snaps) == 0 || len(lockSink.snaps) != len(dfSink.snaps) {
+		t.Fatalf("checkpoint counts diverged: lockstep %d, dataflow %d", len(lockSink.snaps), len(dfSink.snaps))
+	}
+	for i := range lockSink.snaps {
+		if lockSink.steps[i] != dfSink.steps[i] {
+			t.Fatalf("checkpoint %d at different steps: lockstep %d, dataflow %d", i, lockSink.steps[i], dfSink.steps[i])
+		}
+		if !bytes.Equal(lockSink.snaps[i], dfSink.snaps[i]) {
+			t.Fatalf("checkpoint %d (step %d) bytes differ between schedulers", i, lockSink.steps[i])
+		}
+	}
+
+	// Every snapshot resumes to the oracle result under both schedulers.
+	for i, snap := range dfSink.snaps {
+		for _, sched := range []Sched{SchedLockstep, SchedDataflow} {
+			c := cfg
+			c.Sched = sched
+			r, err := Restore(bytes.NewReader(snap), c)
+			if err != nil {
+				t.Fatalf("snapshot %d under %v: %v", i, sched, err)
+			}
+			if _, err := r.Run(); err != nil {
+				t.Fatalf("snapshot %d resume under %v: %v", i, sched, err)
+			}
+			if resumed := snapshotOf(r); !reflect.DeepEqual(want, resumed) {
+				t.Fatalf("snapshot %d resumed under %v diverged from oracle", i, sched)
+			}
+		}
+	}
+}
+
+// TestDataflowManualStepThenRun: Step() always steps lockstep; handing the
+// machine to RunContext afterwards resumes the dataflow engine mid-run from
+// the committed step count.
+func TestDataflowManualStepThenRun(t *testing.T) {
+	prog := isa.MustAssemble("prodcons", dfProducerConsumerSrc)
+	oracle, _, oErr := dfRunObs(t, prog, variant.SingleInstruction, SchedLockstep, nil)
+	if oErr != "" {
+		t.Fatal(oErr)
+	}
+
+	cfg := Default(variant.SingleInstruction)
+	cfg.Sched = SchedDataflow
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	stepN(t, m, 5)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := snapshotOf(m); !reflect.DeepEqual(oracle, got) {
+		t.Fatalf("manual-steps-then-dataflow diverged:\noracle %+v\ngot    %+v", oracle.stats, got.stats)
+	}
+}
+
+// TestSchedParseAndConfig covers the Sched knob itself: parsing, rendering,
+// and config validation.
+func TestSchedParseAndConfig(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Sched
+	}{
+		{"", SchedLockstep}, {"lockstep", SchedLockstep}, {"dataflow", SchedDataflow},
+	} {
+		got, err := ParseSched(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseSched(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseSched("bogus"); err == nil {
+		t.Fatal("ParseSched accepted bogus")
+	}
+	if SchedLockstep.String() != "lockstep" || SchedDataflow.String() != "dataflow" {
+		t.Fatal("Sched.String misrenders")
+	}
+	cfg := Default(variant.SingleInstruction)
+	cfg.Sched = Sched(99)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid Sched accepted by New")
+	}
+}
+
+// FuzzDataflowVsLockstep fuzzes scheduler equivalence over (program, variant,
+// backend, parallelism): any standing program on any policy must be
+// bit-identical between the two schedulers.
+func FuzzDataflowVsLockstep(f *testing.F) {
+	srcs := []string{vectorAddSrc, dfProducerConsumerSrc}
+	for name, src := range resetPrograms {
+		_ = name
+		srcs = append(srcs, src)
+	}
+	kinds := []variant.Kind{
+		variant.SingleInstruction, variant.Balanced, variant.MultiInstruction,
+		variant.SingleOperation, variant.ConfigurableSingleOperation, variant.FixedThickness,
+	}
+	for i := range srcs {
+		f.Add(i, 0, false, false)
+		f.Add(i, 1, true, false)
+		f.Add(i, 5, false, true)
+	}
+	f.Fuzz(func(t *testing.T, idx, kindIdx int, fused, parallel bool) {
+		if idx < 0 {
+			idx = -(idx + 1)
+		}
+		if kindIdx < 0 {
+			kindIdx = -(kindIdx + 1)
+		}
+		src := srcs[idx%len(srcs)]
+		kind := kinds[kindIdx%len(kinds)]
+		prog, err := isa.Assemble("fuzz", src)
+		if err != nil {
+			t.Skip()
+		}
+		dfCompare(t, prog, kind, func(c *Config) {
+			if fused {
+				c.Backend = BackendFused
+			}
+			c.Parallel = parallel
+		})
+	})
+}

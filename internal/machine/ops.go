@@ -192,6 +192,34 @@ type deferredEvent struct {
 	pc    int // evFragmentRejoin: where the container resumes
 }
 
+// groupCounters is the per-step statistics block of one group's execution —
+// every scalar the merge stage folds into Stats. It is split out of
+// groupExec so the dataflow scheduler can snapshot it into a step packet
+// with one struct copy; the lockstep engine reads it off the exec directly.
+type groupCounters struct {
+	ops       int64
+	scalarOps int64
+	fetches   int64
+
+	anyShared bool
+	maxDist   int
+	stall     int64
+
+	// Fault-injection accounting (Config.FaultPlan): retransmission and
+	// detour stalls inflate cycles, never values.
+	faultStall  int64
+	retransmits int64
+	reroutes    int64
+
+	sharedReads  int64
+	sharedWrites int64
+	localReads   int64
+	localWrites  int64
+	multiopRefs  int64
+	barriers     int64
+	laneChunks   int64
+}
+
 // groupExec carries the per-group execution state of one step. Groups run
 // independently (optionally on separate goroutines); their outputs are
 // merged deterministically afterwards. One arena per group lives on the
@@ -210,33 +238,28 @@ type groupExec struct {
 	// loads see the current state and stores apply instantly.
 	immediate bool
 
-	ops       int64
-	scalarOps int64
-	fetches   int64
+	// step is the step index this arena is generating — identical to the
+	// machine's committed Steps under lockstep, but ahead of it when the
+	// dataflow scheduler lets this group run ahead. Everything step-indexed
+	// on the generation path (fault decisions, PRINT provenance) reads
+	// this, never m.stats.Steps.
+	step int64
 
-	anyShared bool
-	maxDist   int
+	// df gates shared reads on the write frontier when the dataflow
+	// scheduler is active (nil under lockstep): a read of a page with
+	// uncommitted writes from an earlier step blocks until the committer
+	// catches up, preserving the pre-step memory image exactly.
+	df *mem.Frontier
+
+	groupCounters
+
 	// rowMax is the largest group→module distance in this group's row of
 	// the distance table — the saturation bound for maxDist, set at build.
 	rowMax int
-	stall  int64
 
-	// Fault-injection accounting (Config.FaultPlan): retransmission and
-	// detour stalls inflate cycles, never values. refSeq numbers the
-	// group's shared references within the step so each one gets an
-	// independent deterministic fault decision.
-	faultStall  int64
-	retransmits int64
-	reroutes    int64
-	refSeq      int64
-
-	sharedReads  int64
-	sharedWrites int64
-	localReads   int64
-	localWrites  int64
-	multiopRefs  int64
-	barriers     int64
-	laneChunks   int64
+	// refSeq numbers the group's shared references within the step so each
+	// one gets an independent deterministic fault decision.
+	refSeq int64
 
 	writes   []mem.Write
 	contribs []pendingContrib
@@ -271,12 +294,10 @@ type groupExec struct {
 func (x *groupExec) reset(plan StepPlan) {
 	x.plan = plan
 	x.immediate = !plan.Lockstep
-	x.ops, x.scalarOps, x.fetches = 0, 0, 0
-	x.anyShared, x.maxDist, x.stall = false, 0, 0
-	x.faultStall, x.retransmits, x.reroutes, x.refSeq = 0, 0, 0, 0
-	x.sharedReads, x.sharedWrites = 0, 0
-	x.localReads, x.localWrites = 0, 0
-	x.multiopRefs, x.barriers, x.laneChunks = 0, 0, 0
+	x.step = plan.Step
+	x.df = x.m.dfFront
+	x.groupCounters = groupCounters{}
+	x.refSeq = 0
 	x.writes = x.writes[:0]
 	x.contribs = x.contribs[:0]
 	x.events = x.events[:0]
@@ -291,15 +312,12 @@ func (x *groupExec) reset(plan StepPlan) {
 // resetLaneWorker prepares a worker clone for one lane chunk whose shared
 // references start at refSeq (the parent's sequence at the chunk's first
 // lane, keeping fault decisions identical to serial execution).
-func (x *groupExec) resetLaneWorker(refSeq int64) {
+func (x *groupExec) resetLaneWorker(refSeq, step int64) {
 	x.immediate = false
-	x.ops, x.scalarOps, x.fetches = 0, 0, 0
-	x.anyShared, x.maxDist, x.stall = false, 0, 0
-	x.faultStall, x.retransmits, x.reroutes = 0, 0, 0
+	x.step = step
+	x.df = x.m.dfFront
+	x.groupCounters = groupCounters{}
 	x.refSeq = refSeq
-	x.sharedReads, x.sharedWrites = 0, 0
-	x.localReads, x.localWrites = 0, 0
-	x.multiopRefs, x.barriers, x.laneChunks = 0, 0, 0
 	x.writes = x.writes[:0]
 	x.contribs = x.contribs[:0]
 	// Lane workers only exist under lockstep plans (execLanes never fans
@@ -357,7 +375,7 @@ func (x *groupExec) noteShared(addr int64, numaMode bool) {
 	module := x.m.shared.ModuleOf(addr)
 	dist := x.m.dist[x.g.Index*x.m.nmods+module]
 	if plan := x.m.cfg.FaultPlan; plan != nil {
-		step := x.m.stats.Steps
+		step := x.step
 		if plan.RouteDown(x.g.Index, module, step) {
 			dist += plan.Detour()
 			x.reroutes++
@@ -403,6 +421,12 @@ func (x *groupExec) loadShared(f *tcf.Flow, addr int64, lane int) int64 {
 		if v, ok := x.fwd[addr]; ok {
 			return v
 		}
+	}
+	if x.df != nil {
+		// Dataflow scheduling: block until every earlier step's write to
+		// this page has committed, so the Peek below sees exactly the
+		// pre-step image lockstep execution would.
+		x.df.WaitRead(x.df.PageOf(addr), x.step)
 	}
 	return x.m.shared.Peek(addr)
 }
@@ -676,7 +700,7 @@ func (x *groupExec) execAtomic(f *tcf.Flow, in isa.Instr) {
 		}
 		f.SetScalar(in.Rd, acc)
 	case in.Op == isa.PRINT:
-		out := Output{Flow: f.ID, Step: x.m.stats.Steps}
+		out := Output{Flow: f.ID, Step: x.step}
 		switch {
 		case in.HasImm:
 			out.Values = []int64{in.Imm}
@@ -687,7 +711,7 @@ func (x *groupExec) execAtomic(f *tcf.Flow, in isa.Instr) {
 		}
 		x.outputs = append(x.outputs, out)
 	case in.Op == isa.PRINTS:
-		x.outputs = append(x.outputs, Output{Flow: f.ID, Step: x.m.stats.Steps, Text: in.Sym})
+		x.outputs = append(x.outputs, Output{Flow: f.ID, Step: x.step, Text: in.Sym})
 	case in.Op == isa.NOP:
 	default:
 		x.execLane(f, in, 0, 0)

@@ -48,25 +48,9 @@ func (m *Machine) runStep(plan StepPlan) error {
 		return err
 	}
 
-	// Memory-discipline audit (Config.MemDiscipline): the step's recorded
-	// access sets are checked before commit, so a violating step stops the
-	// machine without applying its writes.
-	var discR, discW int64
-	if len(m.discAccs) > 0 {
-		for i := range m.discAccs {
-			if m.discAccs[i].write {
-				discW++
-			} else {
-				discR++
-			}
-		}
-		m.stats.DiscReads += discR
-		m.stats.DiscWrites += discW
-		if v := m.checkDiscipline(); v != nil {
-			v.Step = m.stats.Steps
-			m.runErr = fmt.Errorf("machine: step %d: %w", m.stats.Steps, v)
-			return m.runErr
-		}
+	discR, discW, err := m.auditDiscipline()
+	if err != nil {
+		return err
 	}
 
 	if err := m.back.commit(); err != nil {
@@ -98,13 +82,59 @@ func (m *Machine) runStep(plan StepPlan) error {
 	// Barrier release: only when no flow anywhere can still run toward
 	// the barrier and at least one is blocked at a BAR.
 	if !m.anyReadyAnywhere() {
-		for _, f := range m.flowList {
-			if f.State == tcf.Blocked {
-				f.State = tcf.Ready
-			}
-		}
+		m.releaseBarriers()
 	}
 
+	m.finishStep(stepCycles, stagesBefore, discR, discW, nil)
+
+	// Liveness: if nothing can ever run again, fail loudly.
+	if m.liveFlows() > 0 && !m.anyReadyAnywhere() {
+		return m.failw(ErrDeadlock, "step %d: deadlock: live flows but none ready (missing JOIN?)", m.stats.Steps)
+	}
+	return nil
+}
+
+// auditDiscipline runs the memory-discipline audit (Config.MemDiscipline)
+// over the step's recorded access sets, before commit, so a violating step
+// stops the machine without applying its writes.
+func (m *Machine) auditDiscipline() (discR, discW int64, err error) {
+	if len(m.discAccs) == 0 {
+		return 0, 0, nil
+	}
+	for i := range m.discAccs {
+		if m.discAccs[i].write {
+			discW++
+		} else {
+			discR++
+		}
+	}
+	m.stats.DiscReads += discR
+	m.stats.DiscWrites += discW
+	if v := m.checkDiscipline(); v != nil {
+		v.Step = m.stats.Steps
+		m.runErr = fmt.Errorf("machine: step %d: %w", m.stats.Steps, v)
+		return discR, discW, m.runErr
+	}
+	return discR, discW, nil
+}
+
+// releaseBarriers unblocks every BAR-parked flow. Callers have established
+// that no flow anywhere can still run toward the barrier.
+func (m *Machine) releaseBarriers() {
+	for _, f := range m.flowList {
+		if f.State == tcf.Blocked {
+			f.State = tcf.Ready
+		}
+	}
+}
+
+// finishStep closes the step's books: the cycle floor, cumulative counters,
+// trace/stage-observer emission, and the deterministic output ordering.
+// pkts selects where the per-group trace data (group cycles, slices) comes
+// from: nil reads the groupExec arenas (lockstep), non-nil reads the
+// dataflow committer's step packets — the nil case must stay branch-only so
+// the lockstep step loop remains allocation-free.
+func (m *Machine) finishStep(stepCycles int64, stagesBefore [NumStages]StageStats, discR, discW int64, pkts []*dfPacket) {
 	if stepCycles == 0 {
 		stepCycles = 1
 	}
@@ -133,16 +163,34 @@ func (m *Machine) runStep(plan StepPlan) error {
 			rec.Step, rec.Cycles, rec.Stages = m.stats.Steps-1, stepCycles, delta
 			rec.DiscReads, rec.DiscWrites = discR, discW
 			n := 0
-			for _, x := range m.execs {
-				n += len(x.slices)
+			if pkts == nil {
+				for _, x := range m.execs {
+					n += len(x.slices)
+				}
+			} else {
+				for _, p := range pkts {
+					if p != nil {
+						n += len(p.slices)
+					}
+				}
 			}
 			if len(m.sliceArena) < n {
 				m.sliceArena = make([]SliceExec, max(n, min(128, max(16, 2*len(m.trace)))))
 			}
 			rec.Slices, m.sliceArena = m.sliceArena[:0:n], m.sliceArena[n:]
-			for _, x := range m.execs {
-				rec.GroupCycles[x.g.Index] = x.ops + x.scalarOps + x.stall
-				rec.Slices = append(rec.Slices, x.slices...)
+			if pkts == nil {
+				for _, x := range m.execs {
+					rec.GroupCycles[x.g.Index] = x.ops + x.scalarOps + x.stall
+					rec.Slices = append(rec.Slices, x.slices...)
+				}
+			} else {
+				for gi, p := range pkts {
+					if p == nil {
+						continue
+					}
+					rec.GroupCycles[gi] = p.ops + p.scalarOps + p.stall
+					rec.Slices = append(rec.Slices, p.slices...)
+				}
 			}
 			if m.trace == nil {
 				m.trace = make([]*StepRecord, 0, 16)
@@ -160,12 +208,6 @@ func (m *Machine) runStep(plan StepPlan) error {
 	// emission order.
 	slices.SortStableFunc(m.stepOutputs, func(a, b Output) int { return cmp.Compare(a.Flow, b.Flow) })
 	m.output = append(m.output, m.stepOutputs...)
-
-	// Liveness: if nothing can ever run again, fail loudly.
-	if m.liveFlows() > 0 && !m.anyReadyAnywhere() {
-		return m.failw(ErrDeadlock, "step %d: deadlock: live flows but none ready (missing JOIN?)", m.stats.Steps)
-	}
-	return nil
 }
 
 func (m *Machine) anyReadyAnywhere() bool {

@@ -502,6 +502,60 @@ func Multitask(k, thickness int) Workload {
 	}
 }
 
+// GroupParallel builds `arms` independent TCFs of the given thickness, each
+// iterating a private scalar chain (x -> 3x+1) over its own disjoint slice
+// of BaseC for `iters` rounds — the multi-group engine-throughput workload.
+// There are no cross-arm dependencies: every arm reads and writes only its
+// own region, so a step engine free to overlap groups (worker pools, the
+// dataflow scheduler) can scale with cores, while the lockstep barrier pays
+// a global synchronization every step.
+func GroupParallel(arms, thickness, iters int) Workload {
+	size := arms * thickness
+	checkSize(size)
+	a, _ := inputs(size)
+	want := make([]int64, size)
+	for i := range want {
+		x := a[i]
+		for k := 0; k < iters; k++ {
+			x = x*3 + 1
+		}
+		want[i] = x
+	}
+	bld := isa.NewBuilder(fmt.Sprintf("grouppar-%dx%d-i%d", arms, thickness, iters))
+	bld.Data(BaseA, a...)
+	bld.Label("main")
+	shares := make([]isa.Arm, arms)
+	for i := range shares {
+		shares[i] = isa.ArmImm(int64(thickness), "work")
+	}
+	bld.Split(shares...)
+	bld.Halt()
+	bld.Label("work")
+	bld.Id(isa.TID, isa.V(0))
+	bld.Id(isa.FID, isa.S(0))
+	// Children are flows 1..arms; global index = (fid-1)*thickness + tid.
+	bld.ALUI(isa.SUB, isa.S(0), isa.S(0), 1)
+	bld.ALUI(isa.MUL, isa.S(0), isa.S(0), int64(thickness))
+	bld.ALU(isa.ADD, isa.V(0), isa.V(0), isa.S(0))
+	bld.Ld(isa.V(1), isa.V(0), BaseA)
+	bld.Ldi(isa.S(1), 0)
+	bld.Label("loop")
+	bld.ALUI(isa.MUL, isa.V(1), isa.V(1), 3)
+	bld.ALUI(isa.ADD, isa.V(1), isa.V(1), 1)
+	bld.St(isa.V(0), BaseC, isa.V(1))
+	bld.ALUI(isa.ADD, isa.S(1), isa.S(1), 1)
+	bld.ALUI(isa.SLT, isa.S(2), isa.S(1), int64(iters))
+	bld.Branch(isa.BNEZ, isa.S(2), "loop")
+	bld.Op(isa.JOIN)
+	return Workload{
+		Name:    fmt.Sprintf("grouppar-%dx%d-i%d", arms, thickness, iters),
+		Program: bld.MustBuild(),
+		Check: func(m *machine.Machine) error {
+			return checkRange(m, BaseC, want, "grouppar")
+		},
+	}
+}
+
 // Allocation builds the horizontal-vs-vertical allocation experiment of
 // Section 4: total application thickness tApp split into `arms` flows (1 =
 // vertical, P = horizontal), each doing `iters` elementwise instructions.

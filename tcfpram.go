@@ -132,6 +132,25 @@ const (
 // interp).
 func ParseBackend(s string) (Backend, error) { return machine.ParseBackend(s) }
 
+// Sched selects the step scheduler (Config.Sched): the global-lockstep step
+// loop, or the dataflow scheduler that lets TCF groups run ahead
+// independently and synchronize only at actual shared-memory dependency
+// edges. The two are bit-identical on every program — outputs, memory,
+// statistics, traces and checkpoints; the lockstep engine is the oracle.
+type Sched = machine.Sched
+
+const (
+	// SchedLockstep advances every group in global lockstep (the default).
+	SchedLockstep = machine.SchedLockstep
+	// SchedDataflow runs one generator goroutine per group, committing
+	// results in deterministic lockstep order.
+	SchedDataflow = machine.SchedDataflow
+)
+
+// ParseSched resolves a scheduler name ("lockstep" or "dataflow"; "" means
+// lockstep).
+func ParseSched(s string) (Sched, error) { return machine.ParseSched(s) }
+
 // FaultPlan is a deterministic, seeded fault schedule for Config.FaultPlan:
 // reference loss with retransmission, route detours, and memory-module
 // fail-stop with spare failover. Recoverable plans change cycle counts only;
