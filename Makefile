@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-compare benchall table figures net examples fuzz lint vet serve serve-test dataflow-test clean
+.PHONY: all build test race bench bench-compare benchall table figures net examples fuzz lint detlint vet serve serve-test dataflow-test clean
 
 # Pinned linter versions, fetched on demand with `go run` so the repo adds
 # no module dependencies. Bump deliberately; CI uses the same pins.
@@ -73,13 +73,22 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/isa/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/lang/
 	$(GO) test -fuzz=FuzzAnalyze -fuzztime=30s ./internal/analysis/
+	$(GO) test -fuzz=FuzzCostAnalyze -fuzztime=30s ./internal/analysis/
 
 # lint runs the pinned static checkers on top of go vet (requires network
-# access the first time, to fetch the pinned tools).
+# access the first time, to fetch the pinned tools), then the in-tree
+# determinism linter over the engine packages.
 lint:
 	$(GO) vet ./...
 	$(GO) run $(STATICCHECK) ./...
 	$(GO) run $(GOVULNCHECK) ./...
+	$(GO) run ./cmd/detlint
+
+# detlint runs only the in-tree determinism linter (no network needed): it
+# flags map ranges, wall-clock reads and math/rand in the deterministic
+# engine packages.
+detlint:
+	$(GO) run ./cmd/detlint
 
 # vet runs tcfvet over every checked-in tcf-e program (codegen corpus and
 # example sources) and compares against the expected-findings file, so new

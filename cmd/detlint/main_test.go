@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func detlint(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code := run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestCleanPackage(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte("package a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := detlint(t, dir)
+	if code != exitClean || !strings.Contains(out, "clean") {
+		t.Fatalf("code %d out %q, want %d and a clean report", code, out, exitClean)
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	dir := t.TempDir()
+	src := "package a\n\nimport \"math/rand\"\n\nfunc f() int { return rand.Int() }\n"
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errw := detlint(t, dir)
+	if code != exitFindings {
+		t.Fatalf("code %d, want %d (stderr %q)", code, exitFindings, errw)
+	}
+	if !strings.Contains(out, "math-rand") || !strings.Contains(errw, "1 finding(s)") {
+		t.Fatalf("out %q errw %q", out, errw)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := detlint(t, "-nope"); code != exitUsage {
+		t.Fatalf("bad flag: code %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := detlint(t, "no/such/dir"); code != exitUsage {
+		t.Fatalf("missing dir: code %d, want %d", code, exitUsage)
+	}
+}
+
+// TestDefaultSetClean runs the tool exactly as `make lint` does, from the
+// repo root, over the default deterministic packages.
+func TestDefaultSetClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(filepath.Join(wd, "..", "..")); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	code, _, errw := detlint(t)
+	if code != exitClean {
+		t.Fatalf("engine packages not clean (code %d):\n%s", code, errw)
+	}
+}

@@ -16,7 +16,9 @@
 // edges, bit-identical to lockstep), machine shape (-groups, -procs), and
 // diagnostics (-trace, -gantt, -dis).
 // -vet statically analyzes a tcf-e program before running it (errors abort
-// the run); -discipline erew|crew enables the runtime memory-discipline
+// the run); -predict runs the static cost analyzer and prints the predicted
+// bounds next to the measured statistics (with per-field error) after the
+// run; -discipline erew|crew enables the runtime memory-discipline
 // cross-checker, stopping the run on same-step conflicts the selected PRAM
 // model forbids. -max-steps and -timeout bound runaway programs through the
 // same governance path (SetLimits + RunContext) the tcfserve execution
@@ -68,6 +70,7 @@ func run(args []string, out io.Writer) error {
 	showMem := fs.String("mem", "", "dump shared memory range, e.g. -mem 300:8")
 	svgPath := fs.String("svg", "", "write the schedule as an SVG file (implies tracing)")
 	vet := fs.Bool("vet", false, "statically analyze tcf-e source before running (error findings abort)")
+	predict := fs.Bool("predict", false, "print predicted vs measured cost after the run")
 	discName := fs.String("discipline", "", "memory discipline checked at runtime (and by -vet): erew|crew|crcw|off")
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the run, e.g. 5s (0 = none)")
 	maxSteps := fs.Int64("max-steps", 0, "abort after this many machine steps (0 = default bound)")
@@ -267,6 +270,13 @@ func run(args []string, out io.Writer) error {
 	}
 	if stats != nil {
 		fmt.Fprintf(out, "variant=%s %s\n", kind, stats)
+	}
+	if *predict {
+		rep, perr := m.PredictCost()
+		if perr != nil {
+			return perr
+		}
+		fmt.Fprint(out, tcfpram.PredictionTable(rep, stats))
 	}
 	return runErr
 }

@@ -334,3 +334,43 @@ func TestResumeFlagErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestPredictFlag(t *testing.T) {
+	path := write(t, "p.te", `
+shared int src[8] @ 100 = {3, 1, 4, 1, 5, 9, 2, 6};
+func main() {
+    #8;
+    thick int v = src[tid];
+    print(radd(v));
+}
+`)
+	var out bytes.Buffer
+	if err := run([]string{"-predict", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "prediction for") {
+		t.Fatalf("missing prediction table:\n%s", s)
+	}
+	// The cost analyzer mirrors the engine exactly: every field must agree.
+	if strings.Contains(s, "BOUND VIOLATED") {
+		t.Fatalf("lower bound exceeded measurement:\n%s", s)
+	}
+	for _, line := range strings.Split(s, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 4 && strings.HasSuffix(f[3], "%") && f[3] != "0%" {
+			t.Errorf("nonzero prediction error: %q", line)
+		}
+	}
+}
+
+func TestPredictFlagAssembly(t *testing.T) {
+	path := write(t, "p.tasm", "main:\nLDI S0, 9\nPRINT S0\nHALT\n")
+	var out bytes.Buffer
+	if err := run([]string{"-predict", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "prediction for") {
+		t.Fatalf("missing prediction table:\n%s", out.String())
+	}
+}

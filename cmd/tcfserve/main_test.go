@@ -89,12 +89,21 @@ func TestServeSIGTERMIntegration(t *testing.T) {
 	}
 
 	// Hostile: a quota burner (the default tenant step quota is 2000 via
-	// the flag above) and a vet-rejected discipline violation.
-	status, out := postJSON(t, client, url, "hostile", map[string]any{
-		"source": `shared int b[1] @ 900; func main() { int n = 0; while (1) { n += 1; b[0] = n; } }`,
+	// the flag above) and a vet-rejected discipline violation. The spin
+	// loop is statically resolvable, so the cost predictor bounces it at
+	// admission with 412; the balanced variant's step shape is not
+	// modeled, so the same program there is admitted and dies on the
+	// runtime quota as before.
+	burner := `shared int b[1] @ 900; func main() { int n = 0; while (1) { n += 1; b[0] = n; } }`
+	status, out := postJSON(t, client, url, "hostile", map[string]any{"source": burner})
+	if status != http.StatusPreconditionFailed || out["outcome"] != "predicted-over-quota" {
+		t.Fatalf("quota burner (predicted): status %d outcome %v", status, out["outcome"])
+	}
+	status, out = postJSON(t, client, url, "hostile", map[string]any{
+		"source": burner, "variant": "balanced",
 	})
 	if status != http.StatusForbidden || out["outcome"] != "quota-exceeded" {
-		t.Fatalf("quota burner: status %d outcome %v", status, out["outcome"])
+		t.Fatalf("quota burner (runtime): status %d outcome %v", status, out["outcome"])
 	}
 	status, out = postJSON(t, client, url, "hostile", map[string]any{
 		"source": `shared int a[2] @ 100; func main() { #8; a[tid == 3] = tid; }`,
@@ -116,7 +125,8 @@ func TestServeSIGTERMIntegration(t *testing.T) {
 	if err := json.Unmarshal(raw, &snap); err != nil {
 		t.Fatal(err)
 	}
-	if snap.Outcomes["ok"] != 5 || snap.Outcomes["quota-exceeded"] != 1 || snap.Outcomes["vet-rejected"] != 1 {
+	if snap.Outcomes["ok"] != 5 || snap.Outcomes["predicted-over-quota"] != 1 ||
+		snap.Outcomes["quota-exceeded"] != 1 || snap.Outcomes["vet-rejected"] != 1 {
 		t.Fatalf("metrics: %s", raw)
 	}
 

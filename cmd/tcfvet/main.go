@@ -13,9 +13,19 @@
 // both). With -expect FILE the rendered findings are compared against a
 // checked-in golden file and the exit status reports the comparison, so CI
 // fails on *new* findings rather than on known ones.
+//
+// With -cost each unit that compiles is also run through the static cost
+// analyzer (predicted steps, cycles, memory footprint and the
+// dataflow-schedulability verdict). With -json both findings and cost
+// reports are emitted as one machine-readable JSON document.
+//
+// Exit status is stable for scripting: 0 when clean, 1 when findings were
+// reported (or -expect mismatched), 2 on usage errors (bad flags, bad
+// paths, unreadable inputs).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/ast"
@@ -33,39 +43,69 @@ import (
 	"tcfpram/internal/variant"
 )
 
+// Stable exit codes, part of the command's interface.
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitUsage    = 2
+)
+
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "tcfvet:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, out io.Writer) error {
+// jsonFinding is the machine-readable shape of one diagnostic. The field
+// set is part of the -json interface; extend it, never rename.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Severity string `json:"severity"`
+	Check    string `json:"check"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Units    int                    `json:"units"`
+	Findings []jsonFinding          `json:"findings"`
+	Costs    []*analysis.CostReport `json:"costs,omitempty"`
+}
+
+func run(args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("tcfvet", flag.ContinueOnError)
+	fs.SetOutput(errw)
 	discName := fs.String("discipline", "crew", "memory discipline to check: erew|crew|crcw|off")
 	variantName := fs.String("variant", "tcf", "execution variant assumed for variant-sensitive checks")
 	expect := fs.String("expect", "", "golden findings file: compare instead of just printing")
 	errorsOnly := fs.Bool("errors-only", false, "report only error-severity findings")
+	cost := fs.Bool("cost", false, "predict execution cost for each unit that compiles")
+	jsonOut := fs.Bool("json", false, "emit findings (and -cost reports) as JSON")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return exitUsage
+	}
+	usage := func(err error) int {
+		fmt.Fprintln(errw, "tcfvet:", err)
+		return exitUsage
 	}
 	if fs.NArg() == 0 {
-		return fmt.Errorf("expected at least one path (.te file, .go file or directory)")
+		return usage(fmt.Errorf("expected at least one path (.te file, .go file or directory)"))
 	}
 	disc, err := mem.ParseDiscipline(*discName)
 	if err != nil {
-		return err
+		return usage(err)
 	}
 	vk, err := variant.ParseKind(*variantName)
 	if err != nil {
-		return err
+		return usage(err)
 	}
 
 	units, err := collectUnits(fs.Args())
 	if err != nil {
-		return err
+		return usage(err)
 	}
 	var all []diag.Diagnostic
+	var costs []*analysis.CostReport
 	for _, u := range units {
 		ds := analysis.AnalyzeSource(u.name, u.src, analysis.Options{
 			Discipline: disc,
@@ -78,32 +118,70 @@ func run(args []string, out io.Writer) error {
 			d.Pos.Line += u.lineOff
 			all = append(all, d)
 		}
+		if *cost {
+			// A unit that fails to compile already produced a parse/sema
+			// finding above; cost analysis only applies to the rest.
+			rep, err := analysis.CostSource(u.name, u.src, analysis.DefaultCostParams(vk))
+			if err == nil {
+				costs = append(costs, rep)
+			}
+		}
 	}
 	diag.Sort(all)
-	got := diag.Render(all)
 
+	if *jsonOut {
+		rep := jsonReport{Units: len(units), Findings: []jsonFinding{}, Costs: costs}
+		for _, d := range all {
+			rep.Findings = append(rep.Findings, jsonFinding{
+				File:     d.File,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Col,
+				Severity: d.Severity.String(),
+				Check:    d.Check,
+				Message:  d.Msg,
+			})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return usage(err)
+		}
+		if len(all) > 0 {
+			return exitFindings
+		}
+		return exitClean
+	}
+
+	got := diag.Render(all)
 	if *expect != "" {
 		want, err := os.ReadFile(*expect)
 		if err != nil {
-			return err
+			return usage(err)
 		}
 		if normalize(got) != normalize(string(want)) {
 			fmt.Fprintf(out, "findings differ from %s:\n--- want ---\n%s--- got ---\n%s",
 				*expect, normalize(string(want)), normalize(got))
-			return fmt.Errorf("findings differ from %s", *expect)
+			fmt.Fprintf(errw, "tcfvet: findings differ from %s\n", *expect)
+			return exitFindings
 		}
 		fmt.Fprintf(out, "tcfvet: %d unit(s) match %s (%d finding(s))\n",
 			len(units), *expect, len(all))
-		return nil
+		return exitClean
 	}
 	if got != "" {
 		fmt.Fprint(out, got)
 	}
-	if len(all) > 0 {
-		return fmt.Errorf("%d finding(s) in %d unit(s)", len(all), len(units))
+	for _, rep := range costs {
+		fmt.Fprint(out, rep.Render())
 	}
-	fmt.Fprintf(out, "tcfvet: %d unit(s) clean\n", len(units))
-	return nil
+	if len(all) > 0 {
+		fmt.Fprintf(errw, "tcfvet: %d finding(s) in %d unit(s)\n", len(all), len(units))
+		return exitFindings
+	}
+	if !*cost {
+		fmt.Fprintf(out, "tcfvet: %d unit(s) clean\n", len(units))
+	}
+	return exitClean
 }
 
 func normalize(s string) string {

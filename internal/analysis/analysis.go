@@ -19,6 +19,7 @@ package analysis
 import (
 	"errors"
 
+	"tcfpram/internal/codegen"
 	"tcfpram/internal/diag"
 	"tcfpram/internal/lang"
 	"tcfpram/internal/mem"
@@ -83,6 +84,37 @@ func AnalyzeSource(file, src string, opts Options) []diag.Diagnostic {
 		return []diag.Diagnostic{frontendDiag(file, err, "sema")}
 	}
 	return Analyze(prog, info, opts)
+}
+
+// AnalyzeAndCompile parses and checks src exactly once, runs the analyzer
+// over the checked program, and — when neither the front end nor the
+// analyzer reports an error — compiles the same checked parse into a
+// runnable program. This is the single-parse path the execution server's
+// vet gate uses: AnalyzeSource followed by codegen.CompileSource would
+// parse and type-check the program twice.
+//
+// A nil compiled result with a nil error means the program was rejected by
+// the diagnostics; a non-nil error is a codegen failure after a clean vet.
+func AnalyzeAndCompile(file, src string, opts Options) ([]diag.Diagnostic, *codegen.Compiled, error) {
+	opts.File = file
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return []diag.Diagnostic{frontendDiag(file, err, "parse")}, nil, nil
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		return []diag.Diagnostic{frontendDiag(file, err, "sema")}, nil, nil
+	}
+	ds := Analyze(prog, info, opts)
+	if diag.HasErrors(ds) {
+		return ds, nil, nil
+	}
+	c, cerr := codegen.CompileChecked(info)
+	if cerr != nil {
+		return ds, nil, cerr
+	}
+	c.Program.Name = file
+	return ds, c, nil
 }
 
 func frontendDiag(file string, err error, check string) diag.Diagnostic {

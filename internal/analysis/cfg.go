@@ -17,7 +17,7 @@ type cfgBlock struct {
 
 	// arm is set on the entry block of a parallel arm: thickness inside the
 	// arm is the arm's declared thickness, not the parent flow's.
-	arm      *lang.ParArm
+	arm       *lang.ParArm
 	reachable bool
 }
 

@@ -169,10 +169,10 @@ type idxInfo struct {
 	mod      int64 // idxMod: distinct-value bound (>= 2)
 }
 
-func commonVal(v int64) idxInfo  { return idxInfo{kind: idxCommon, val: v, valKnown: true} }
-func commonAny() idxInfo         { return idxInfo{kind: idxCommon} }
-func unknownIdx() idxInfo        { return idxInfo{kind: idxUnknown} }
-func colliding(i idxInfo) bool   { return i.kind == idxCommon || i.kind == idxMod || i.kind == idxDup }
+func commonVal(v int64) idxInfo { return idxInfo{kind: idxCommon, val: v, valKnown: true} }
+func commonAny() idxInfo        { return idxInfo{kind: idxCommon} }
+func unknownIdx() idxInfo       { return idxInfo{kind: idxUnknown} }
+func colliding(i idxInfo) bool  { return i.kind == idxCommon || i.kind == idxMod || i.kind == idxDup }
 
 // collides reports whether the classified index provably maps two distinct
 // threads to the same address under the given thickness.

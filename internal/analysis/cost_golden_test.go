@@ -1,0 +1,44 @@
+package analysis_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tcfpram/internal/analysis"
+	"tcfpram/internal/variant"
+)
+
+var updateCost = flag.Bool("update-cost", false, "rewrite testdata/cost_corpus.golden")
+
+// TestCostGolden pins the rendered prediction of every corpus program under
+// the reference TCF variant. The validation gate proves these numbers equal
+// measured Stats; the golden file makes any model drift reviewable in a
+// diff. Regenerate with
+//
+//	go test ./internal/analysis -run TestCostGolden -update-cost
+func TestCostGolden(t *testing.T) {
+	var b strings.Builder
+	for _, path := range corpusFiles(t) {
+		c := compileCorpus(t, path)
+		rep := analysis.Cost(c, analysis.DefaultCostParams(variant.SingleInstruction))
+		b.WriteString(rep.Render())
+	}
+	got := b.String()
+	golden := filepath.Join("testdata", "cost_corpus.golden")
+	if *updateCost {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-cost): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("cost predictions drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}

@@ -143,6 +143,7 @@ func (bk *backend) commit() error {
 			continue
 		}
 		finals, prefixes := comb.Resolve(m.shared.Peek)
+		//detlint:ignore each iteration pokes a distinct address, so order cannot be observed
 		for addr, v := range finals {
 			m.shared.Poke(addr, v)
 		}

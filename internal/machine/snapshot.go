@@ -256,6 +256,7 @@ func Restore(r io.Reader, cfg Config) (*Machine, error) {
 		}
 	}
 	m.nextFlowID = d.Int()
+	//detlint:ignore each iteration links a distinct flow's parent, so order cannot be observed
 	for id, pid := range parents {
 		p, ok := m.flows[pid]
 		if !ok {

@@ -23,7 +23,7 @@ type cacheKey struct {
 // cacheEntry is the memoized outcome of vetting and compiling one program.
 // Failures are cached exactly like successes so a hostile client resending
 // a broken program pays one compile, total. The entry is immutable after
-// done closes.
+// done closes, except for the cost memo behind costMu.
 type cacheEntry struct {
 	done chan struct{}
 
@@ -33,6 +33,55 @@ type cacheEntry struct {
 
 	compiled *codegen.Compiled
 	err      error // codegen failure after a clean vet
+
+	// costs memoizes static cost predictions per machine shape, computed
+	// from the already-compiled program (the vet gate's single parse): the
+	// predictive-admission pass never re-parses source.
+	costMu sync.Mutex
+	costs  map[costKey]*analysis.CostReport
+}
+
+// costKey is the machine shape a cost prediction depends on. Topology is
+// derived from Groups (the machine default ring), so the shape fields pin
+// the prediction completely.
+type costKey struct {
+	variant        variant.Kind
+	groups         int
+	procs          int
+	sharedWords    int
+	localWords     int
+	pipelineDepth  int
+	memLatencyBase int
+	vectorWidth    int
+	maxSteps       int64
+}
+
+// cost returns the memoized cost prediction of this entry's program for the
+// given analysis parameters (which must use the default ring topology).
+// Only valid on entries holding a compiled program.
+func (e *cacheEntry) cost(params analysis.CostParams) *analysis.CostReport {
+	key := costKey{
+		variant:        params.Variant,
+		groups:         params.Groups,
+		procs:          params.ProcsPerGroup,
+		sharedWords:    params.SharedWords,
+		localWords:     params.LocalWords,
+		pipelineDepth:  params.PipelineDepth,
+		memLatencyBase: params.MemLatencyBase,
+		vectorWidth:    params.VectorWidth,
+		maxSteps:       params.MaxSteps,
+	}
+	e.costMu.Lock()
+	defer e.costMu.Unlock()
+	if rep, ok := e.costs[key]; ok {
+		return rep
+	}
+	rep := analysis.Cost(e.compiled, params)
+	if e.costs == nil {
+		e.costs = make(map[costKey]*analysis.CostReport)
+	}
+	e.costs[key] = rep
+	return rep
 }
 
 // ProgramCache memoizes vet+compile results keyed by source hash with
@@ -89,13 +138,14 @@ func (c *ProgramCache) Get(src string, vk variant.Kind, disc mem.Discipline) *ca
 	c.entries[key] = e
 	c.mu.Unlock()
 
+	// One parse serves vet, compile and the later cost passes:
+	// AnalyzeAndCompile type-checks the source once and compiles that same
+	// checked program.
 	name := fmt.Sprintf("%x.te", key.srcHash[:6])
-	e.diags = analysis.AnalyzeSource(name, src, analysis.Options{Discipline: disc, Variant: vk})
-	if diag.HasErrors(e.diags) {
+	e.diags, e.compiled, e.err = analysis.AnalyzeAndCompile(name, src, analysis.Options{Discipline: disc, Variant: vk})
+	if e.compiled == nil && e.err == nil {
 		e.rejected = true
 		e.frontend = len(e.diags) == 1 && (e.diags[0].Check == "parse" || e.diags[0].Check == "sema")
-	} else {
-		e.compiled, e.err = codegen.CompileSource(name, src)
 	}
 	close(e.done)
 	return e

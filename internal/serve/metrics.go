@@ -3,6 +3,7 @@ package serve
 import (
 	"sync/atomic"
 
+	"tcfpram/internal/analysis"
 	"tcfpram/internal/machine"
 )
 
@@ -25,8 +26,18 @@ type metrics struct {
 	runtimeFault atomic.Int64 // deadlock, discipline violation, machine fault
 	panics       atomic.Int64 // isolated request panics
 
-	duplicate atomic.Int64 // request id already in flight (recovery mode)
-	internal  atomic.Int64 // server-side failures (journal unavailable, ...)
+	duplicate      atomic.Int64 // request id already in flight (recovery mode)
+	internal       atomic.Int64 // server-side failures (journal unavailable, ...)
+	predictedQuota atomic.Int64 // rejected at admission by the cost predictor
+
+	// Predicted-vs-actual accounting for the cost analyzer: runs that
+	// carried an exact prediction, how many of those matched the measured
+	// cycles exactly, and the absolute/total cycle sums behind the mean
+	// relative error.
+	predictedRuns     atomic.Int64
+	predictedExact    atomic.Int64
+	predictedCycleErr atomic.Int64 // sum |predicted - measured| cycles
+	predictedCycles   atomic.Int64 // sum measured cycles of predicted runs
 
 	steps       atomic.Int64 // machine steps executed, all runs
 	cycles      atomic.Int64 // simulated cycles, all runs
@@ -74,7 +85,29 @@ func (m *metrics) count(outcome string) {
 		m.duplicate.Add(1)
 	case outcomeInternal:
 		m.internal.Add(1)
+	case outcomePredictedQuota:
+		m.predictedQuota.Add(1)
 	}
+}
+
+// observePrediction folds one finished run's predicted-vs-measured cycle
+// error into the counters. Only clean runs with an exact (resolved, no
+// predicted abnormal stop) prediction count: an aborted run measures a
+// prefix of the program, which the prediction never claimed to match.
+func (m *metrics) observePrediction(rep *analysis.CostReport, st *machine.Stats, runErr error) {
+	if rep == nil || st == nil || runErr != nil || !rep.Resolved || rep.Note != "" {
+		return
+	}
+	d := rep.Cycles.Min - st.Cycles
+	if d < 0 {
+		d = -d
+	}
+	m.predictedRuns.Add(1)
+	if d == 0 {
+		m.predictedExact.Add(1)
+	}
+	m.predictedCycleErr.Add(d)
+	m.predictedCycles.Add(st.Cycles)
 }
 
 // observe folds one run's statistics into the cumulative counters,
@@ -103,9 +136,28 @@ type MetricsSnapshot struct {
 	Cycles      int64            `json:"cycles"`
 	StageCycles map[string]int64 `json:"stage_cycles"`
 
-	Pool     PoolCounters     `json:"pool"`
-	Cache    CacheCounters    `json:"cache"`
-	Recovery RecoveryCounters `json:"recovery"`
+	Pool       PoolCounters       `json:"pool"`
+	Cache      CacheCounters      `json:"cache"`
+	Recovery   RecoveryCounters   `json:"recovery"`
+	Prediction PredictionCounters `json:"prediction"`
+}
+
+// PredictionCounters is the cost-predictor section of /metrics: how often
+// predictive admission rejected a job, and how the analyzer's exact
+// predictions tracked the measured runs.
+type PredictionCounters struct {
+	// RejectedOverQuota counts jobs rejected at admission because their
+	// predicted cost provably exceeded the tenant quota.
+	RejectedOverQuota int64 `json:"rejected_over_quota"`
+	// PredictedRuns counts clean runs that carried an exact prediction;
+	// ExactRuns of those matched the measured cycle count exactly.
+	PredictedRuns int64 `json:"predicted_runs"`
+	ExactRuns     int64 `json:"exact_runs"`
+	// CycleErrorSum is Σ|predicted − measured| cycles over PredictedRuns;
+	// MeasuredCycleSum is the matching Σ measured cycles, so
+	// CycleErrorSum/MeasuredCycleSum is the mean relative error.
+	CycleErrorSum    int64 `json:"cycle_error_sum"`
+	MeasuredCycleSum int64 `json:"measured_cycle_sum"`
 }
 
 // RecoveryCounters is the crash-recovery section of /metrics.
@@ -130,20 +182,21 @@ func (s *Server) Metrics() MetricsSnapshot {
 		Draining:   s.drainFlag.Load(),
 		Admitted:   m.admitted.Load(),
 		Outcomes: map[string]int64{
-			outcomeOK:           m.ok.Load(),
-			outcomeShed:         m.shed.Load(),
-			outcomeTenantBusy:   m.tenantBusy.Load(),
-			outcomeDraining:     m.draining.Load(),
-			outcomeBadRequest:   m.badRequest.Load(),
-			outcomeTooLarge:     m.tooLarge.Load(),
-			outcomeVetRejected:  m.vetRejected.Load(),
-			outcomeCompileError: m.compileError.Load(),
-			outcomeQuota:        m.quota.Load(),
-			outcomeDeadline:     m.deadline.Load(),
-			outcomeRuntimeFault: m.runtimeFault.Load(),
-			outcomePanic:        m.panics.Load(),
-			outcomeDuplicate:    m.duplicate.Load(),
-			outcomeInternal:     m.internal.Load(),
+			outcomeOK:             m.ok.Load(),
+			outcomeShed:           m.shed.Load(),
+			outcomeTenantBusy:     m.tenantBusy.Load(),
+			outcomeDraining:       m.draining.Load(),
+			outcomeBadRequest:     m.badRequest.Load(),
+			outcomeTooLarge:       m.tooLarge.Load(),
+			outcomeVetRejected:    m.vetRejected.Load(),
+			outcomeCompileError:   m.compileError.Load(),
+			outcomeQuota:          m.quota.Load(),
+			outcomeDeadline:       m.deadline.Load(),
+			outcomeRuntimeFault:   m.runtimeFault.Load(),
+			outcomePanic:          m.panics.Load(),
+			outcomeDuplicate:      m.duplicate.Load(),
+			outcomeInternal:       m.internal.Load(),
+			outcomePredictedQuota: m.predictedQuota.Load(),
 		},
 		Steps:       m.steps.Load(),
 		Cycles:      m.cycles.Load(),
@@ -155,6 +208,13 @@ func (s *Server) Metrics() MetricsSnapshot {
 			Restores:           m.restores.Load(),
 			RecoveredRuns:      m.recovered.Load(),
 			ReplayedResponses:  m.replayed.Load(),
+		},
+		Prediction: PredictionCounters{
+			RejectedOverQuota: m.predictedQuota.Load(),
+			PredictedRuns:     m.predictedRuns.Load(),
+			ExactRuns:         m.predictedExact.Load(),
+			CycleErrorSum:     m.predictedCycleErr.Load(),
+			MeasuredCycleSum:  m.predictedCycles.Load(),
 		},
 	}
 	for i := range m.stageCycles {

@@ -13,8 +13,10 @@
 //
 // Every failure mode maps to a distinct HTTP status so clients can react
 // mechanically: 429 means back off (Retry-After is set), 403 means the
-// program exceeded its tenant's quota, 422 means tcfvet rejected it, 503
-// means the server is draining. Request panics are isolated: the machine is
+// program exceeded its tenant's quota while running, 412 means the static
+// cost analyzer proved it would exceed the quota (rejected at admission,
+// before a machine is pooled), 422 means tcfvet rejected it, 503 means the
+// server is draining. Request panics are isolated: the machine is
 // discarded, the client gets a 500, and the server keeps serving.
 package serve
 
@@ -30,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tcfpram/internal/analysis"
 	"tcfpram/internal/checkpoint"
 	"tcfpram/internal/diag"
 	"tcfpram/internal/machine"
@@ -48,11 +51,15 @@ const (
 	outcomeVetRejected  = "vet-rejected"
 	outcomeCompileError = "compile-error"
 	outcomeQuota        = "quota-exceeded"
-	outcomeDeadline     = "deadline"
-	outcomeRuntimeFault = "runtime-fault"
-	outcomePanic        = "panic"
-	outcomeDuplicate    = "duplicate"
-	outcomeInternal     = "internal"
+	// outcomePredictedQuota rejects a run whose statically predicted cost
+	// provably exceeds the tenant's quota, before any machine is pooled
+	// (HTTP 412: the precondition "fits the quota" failed at admission).
+	outcomePredictedQuota = "predicted-over-quota"
+	outcomeDeadline       = "deadline"
+	outcomeRuntimeFault   = "runtime-fault"
+	outcomePanic          = "panic"
+	outcomeDuplicate      = "duplicate"
+	outcomeInternal       = "internal"
 )
 
 // Limits is one tenant's resource envelope. Zero fields take the server
@@ -590,11 +597,89 @@ func (s *Server) runAdmitted(reqCtx context.Context, req *runRequest, tenantName
 		return errResp, status
 	}
 
+	// Predictive admission: run the static cost analyzer (memoized per
+	// program and machine shape on the cache entry) and reject jobs whose
+	// provable lower bounds already exceed the tenant's quota — before any
+	// machine is pooled. Only exact-or-lower-bound violations reject; an
+	// analysis that cannot bound the program admits it and lets the runtime
+	// quotas govern as before.
+	rep := entry.cost(costParamsFor(cfg))
+	if why := predictionOverQuota(rep, lim); why != "" {
+		return &runResponse{
+			Outcome:     outcomePredictedQuota,
+			Error:       why,
+			Diagnostics: diag.Render(entry.diags),
+		}, http.StatusPreconditionFailed
+	}
+
 	lease, err := s.pool.Get(cfg)
 	if err != nil {
 		return &runResponse{Outcome: outcomeBadRequest, Error: err.Error()}, http.StatusBadRequest
 	}
-	return s.execute(reqCtx, lease, entry, req, tenantName, lim, diag.Render(entry.diags), runID)
+	return s.execute(reqCtx, lease, entry, req, tenantName, lim, diag.Render(entry.diags), rep, runID)
+}
+
+// Admission-time analysis budgets: the cost pass runs inline on the request
+// path (memoized per program and shape), so its abstract step fuel and lane
+// work are kept far below the analyzer's offline defaults. A step-quota
+// violation stays provable whenever the quota is below the fuel cap;
+// heavier programs simply stay unresolved and fall through to the runtime
+// quotas, which is always sound.
+const (
+	admitMaxSteps    = 1 << 14
+	admitMaxLaneWork = 1 << 22
+)
+
+// costParamsFor derives cost-analysis parameters from the pooled-machine
+// config. MaxThickness is deliberately left unbounded so the prediction
+// reports the program's true thickness demand (compared against the quota
+// by predictionOverQuota); the abstract step budget is clamped just past
+// the tenant's step quota so a violation stays provable without letting the
+// analyzer run unboundedly long.
+func costParamsFor(cfg machine.Config) analysis.CostParams {
+	p := analysis.CostParams{
+		Variant:        cfg.Variant,
+		Groups:         cfg.Groups,
+		ProcsPerGroup:  cfg.ProcsPerGroup,
+		SharedWords:    cfg.SharedWords,
+		LocalWords:     cfg.LocalWords,
+		PipelineDepth:  cfg.PipelineDepth,
+		MemLatencyBase: cfg.MemLatencyBase,
+		VectorWidth:    cfg.VectorWidth,
+		MaxSteps:       admitMaxSteps,
+		MaxLaneWork:    admitMaxLaneWork,
+	}
+	if cfg.MaxSteps > 0 && cfg.MaxSteps < admitMaxSteps {
+		p.MaxSteps = cfg.MaxSteps + 1
+	}
+	return p
+}
+
+// predictionOverQuota returns a non-empty reason when the prediction's
+// lower bounds prove the run must exceed the tenant's quotas: steps,
+// thickness, or distinct shared words referenced. Lower bounds are sound
+// for unresolved analyses too, so this never rejects a program the quotas
+// could still admit.
+func predictionOverQuota(rep *analysis.CostReport, lim Limits) string {
+	if rep == nil {
+		return ""
+	}
+	if lim.MaxSteps > 0 && rep.Steps.Min > lim.MaxSteps {
+		return fmt.Sprintf("predicted steps %s exceed the tenant quota %d", rep.Steps, lim.MaxSteps)
+	}
+	if lim.MaxThickness > 0 && rep.MaxThickness.Min > int64(lim.MaxThickness) {
+		return fmt.Sprintf("predicted flow thickness %s exceeds the tenant quota %d", rep.MaxThickness, lim.MaxThickness)
+	}
+	if lim.MaxSharedWords > 0 {
+		var words int64
+		for _, w := range rep.WordsPerModule {
+			words += w
+		}
+		if words > int64(lim.MaxSharedWords) {
+			return fmt.Sprintf("predicted shared-memory footprint %d words exceeds the tenant quota %d", words, lim.MaxSharedWords)
+		}
+	}
+	return ""
 }
 
 // buildConfig validates the requested machine shape against the server caps
@@ -678,7 +763,7 @@ func watchdogFor(maxSteps int64) int64 {
 // machine state can't be trusted) and the client gets a 500. In recovery
 // mode (runID non-empty) the machine checkpoints itself periodically so a
 // process crash can resume the run instead of losing it.
-func (s *Server) execute(reqCtx context.Context, lease *Lease, entry *cacheEntry, req *runRequest, tenantName string, lim Limits, diags string, runID string) (resp *runResponse, status int) {
+func (s *Server) execute(reqCtx context.Context, lease *Lease, entry *cacheEntry, req *runRequest, tenantName string, lim Limits, diags string, rep *analysis.CostReport, runID string) (resp *runResponse, status int) {
 	defer func() {
 		if p := recover(); p != nil {
 			lease.Discard()
@@ -734,6 +819,7 @@ func (s *Server) execute(reqCtx context.Context, lease *Lease, entry *cacheEntry
 	stats, runErr := m.RunContext(ctx)
 	wall := time.Since(start)
 	s.metrics.observe(stats)
+	s.metrics.observePrediction(rep, stats, runErr)
 	s.metrics.runNanos.Add(wall.Nanoseconds())
 	s.metrics.runsMeasured.Add(1)
 

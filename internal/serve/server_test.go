@@ -196,8 +196,14 @@ func TestOutcomeStatusMapping(t *testing.T) {
 		{name: "bad-discipline", req: runRequest{Source: validSrc, Discipline: "nope"}, status: 400, outcome: outcomeBadRequest},
 		{name: "shape-cap", req: runRequest{Source: validSrc, Groups: 4096}, status: 400, outcome: outcomeBadRequest},
 		{name: "peek-range", req: runRequest{Source: validSrc, Peek: []peekRange{{Addr: -1, N: 4}}}, status: 400, outcome: outcomeBadRequest},
-		{name: "steps-quota", tenant: "caged", req: runRequest{Source: spinSrc}, status: 403, outcome: outcomeQuota},
-		{name: "thickness-quota", tenant: "caged", req: runRequest{Source: thickSrc}, status: 403, outcome: outcomeQuota},
+		// On the TCF variant the cost analyzer resolves both programs, so
+		// the quota violation is proven at admission (412, no machine
+		// pooled); on balanced — a step shape the analyzer does not model —
+		// the same programs are admitted and die on the runtime quota (403).
+		{name: "steps-quota-predicted", tenant: "caged", req: runRequest{Source: spinSrc}, status: 412, outcome: outcomePredictedQuota},
+		{name: "steps-quota-runtime", tenant: "caged", req: runRequest{Source: spinSrc, Variant: "balanced"}, status: 403, outcome: outcomeQuota},
+		{name: "thickness-quota-predicted", tenant: "caged", req: runRequest{Source: thickSrc}, status: 412, outcome: outcomePredictedQuota},
+		{name: "thickness-quota-runtime", tenant: "caged", req: runRequest{Source: thickSrc, Variant: "balanced"}, status: 403, outcome: outcomeQuota},
 		{name: "memory-quota", tenant: "caged", req: runRequest{Source: validSrc, SharedWords: 1 << 21}, status: 403, outcome: outcomeQuota},
 		{name: "deadline", tenant: "slow", req: runRequest{Source: spinSrc}, status: 408, outcome: outcomeDeadline},
 		{name: "runtime-discipline-fault", req: runRequest{Source: faultSrc, Discipline: "crew"}, status: 409, outcome: outcomeRuntimeFault},
@@ -433,8 +439,8 @@ func TestAdversarialLoad(t *testing.T) {
 	kinds := []kind{
 		{req: runRequest{Source: validSrc}, status: 200, outcome: outcomeOK},
 		{req: runRequest{Source: `func main() { print(7 * 6); }`}, status: 200, outcome: outcomeOK},
-		{tenant: "caged", req: runRequest{Source: spinSrc}, status: 403, outcome: outcomeQuota},
-		{tenant: "caged", req: runRequest{Source: thickSrc}, status: 403, outcome: outcomeQuota},
+		{tenant: "caged", req: runRequest{Source: spinSrc}, status: 412, outcome: outcomePredictedQuota},
+		{tenant: "caged", req: runRequest{Source: thickSrc, Variant: "balanced"}, status: 403, outcome: outcomeQuota},
 		{tenant: "slow", req: runRequest{Source: spinSrc}, status: 408, outcome: outcomeDeadline},
 		{req: runRequest{Source: vetBadSrc}, status: 422, outcome: outcomeVetRejected},
 		{req: runRequest{Source: parseBadSrc}, status: 400, outcome: outcomeCompileError},
@@ -486,7 +492,7 @@ func TestAdversarialLoad(t *testing.T) {
 	if want := int64(clients*perClient + 1); total != want { // +1 warm-up
 		t.Fatalf("metrics account for %d requests, want %d: %+v", total, want, m.Outcomes)
 	}
-	for _, must := range []string{outcomeOK, outcomeQuota, outcomeVetRejected, outcomePanic, outcomeDeadline} {
+	for _, must := range []string{outcomeOK, outcomeQuota, outcomePredictedQuota, outcomeVetRejected, outcomePanic, outcomeDeadline} {
 		if m.Outcomes[must] == 0 {
 			t.Errorf("outcome %q never observed: %+v", must, m.Outcomes)
 		}

@@ -32,6 +32,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 
 	"tcfpram/internal/analysis"
 	"tcfpram/internal/checkpoint"
@@ -237,6 +238,124 @@ func RenderDiagnostics(ds []Diagnostic) string { return diag.Render(ds) }
 // DiagnosticsHaveErrors reports whether any finding has error severity.
 func DiagnosticsHaveErrors(ds []Diagnostic) bool { return diag.HasErrors(ds) }
 
+// CostReport is the static cost analyzer's prediction for one program on
+// one machine shape: predicted step/cycle/traffic bounds under the extended
+// PRAM-NUMA cost model, shared-memory footprint, and the group-independence
+// verdict the dataflow scheduler consumes. When Resolved is true every
+// bound is exact and equals the measured Stats of a real run (on either
+// backend, under either scheduler).
+type CostReport = analysis.CostReport
+
+// CostBound is one predicted [Min, Max] interval of a CostReport.
+type CostBound = analysis.Bound
+
+// CostParams describes the machine a cost prediction is for plus the
+// analysis budgets.
+type CostParams = analysis.CostParams
+
+// CostParamsFor derives cost-prediction parameters from a machine Config,
+// so a prediction and a run describe the same machine shape. Analysis
+// budgets stay at their defaults.
+func CostParamsFor(cfg Config) CostParams {
+	return CostParams{
+		Variant:        cfg.Variant,
+		Groups:         cfg.Groups,
+		ProcsPerGroup:  cfg.ProcsPerGroup,
+		SharedWords:    cfg.SharedWords,
+		LocalWords:     cfg.LocalWords,
+		PipelineDepth:  cfg.PipelineDepth,
+		MemLatencyBase: cfg.MemLatencyBase,
+		VectorWidth:    cfg.VectorWidth,
+		MaxThickness:   cfg.MaxThickness,
+		Topology:       cfg.Topology,
+	}
+}
+
+// PredictCost statically predicts the cost of tcf-e source on the machine
+// cfg describes, without building a machine.
+func PredictCost(name, src string, cfg Config) (*CostReport, error) {
+	return analysis.CostSource(name, src, CostParamsFor(cfg))
+}
+
+// PredictCost predicts the cost of the loaded program on this machine's
+// configuration. The machine must have a program loaded and not yet run
+// (the prediction itself never mutates the machine, so calling it after a
+// run is also fine).
+func (m *Machine) PredictCost() (*CostReport, error) {
+	if m.compiled == nil || m.compiled.Program == nil {
+		return nil, fmt.Errorf("tcfpram: no program loaded")
+	}
+	return analysis.Cost(m.compiled, CostParamsFor(m.inner.Config())), nil
+}
+
+// PredictionTable renders a predicted-vs-measured comparison, one row per
+// statistic: the predicted bound, the measured value, and — for exact
+// predictions — the signed relative error. st may be nil (prediction only,
+// e.g. when the run aborted before producing stats).
+func PredictionTable(rep *CostReport, st *Stats) string {
+	if rep == nil {
+		return ""
+	}
+	if st == nil {
+		return rep.Render()
+	}
+	rows := []struct {
+		name      string
+		predicted CostBound
+		measured  int64
+	}{
+		{"steps", rep.Steps, st.Steps},
+		{"cycles", rep.Cycles, st.Cycles},
+		{"ops", rep.Ops, st.Ops},
+		{"scalar-ops", rep.ScalarOps, st.ScalarOps},
+		{"instr-fetches", rep.InstrFetches, st.InstrFetches},
+		{"shared-reads", rep.SharedReads, st.SharedReads},
+		{"shared-writes", rep.SharedWrites, st.SharedWrites},
+		{"local-reads", rep.LocalReads, st.LocalReads},
+		{"local-writes", rep.LocalWrites, st.LocalWrites},
+		{"multiop-refs", rep.MultiopRefs, st.MultiopRefs},
+		{"overhead-cycles", rep.OverheadCycles, st.OverheadCycles},
+		{"stall-cycles", rep.StallCycles, st.StallCycles},
+		{"flow-branch-cycles", rep.FlowBranchCycles, st.FlowBranchCycles},
+		{"task-switch-cycles", rep.TaskSwitchCycles, st.TaskSwitchCycles},
+		{"barriers", rep.Barriers, st.Barriers},
+		{"splits", rep.Splits, st.Splits},
+		{"joins", rep.Joins, st.Joins},
+		{"flows-created", rep.FlowsCreated, st.FlowsCreated},
+		{"max-live-flows", rep.MaxLiveFlows, int64(st.MaxLiveFlows)},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "prediction for %s (%s)", rep.Program, rep.Variant)
+	if !rep.Resolved {
+		fmt.Fprintf(&b, " — lower bounds only: %s", rep.Reason)
+	}
+	if rep.Note != "" {
+		fmt.Fprintf(&b, " — %s", rep.Note)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  %-20s %12s %12s %10s\n", "stat", "predicted", "measured", "error")
+	for _, r := range rows {
+		errCol := "-"
+		switch {
+		case r.predicted.Exact():
+			d := r.predicted.Min - r.measured
+			switch {
+			case d == 0:
+				errCol = "0%"
+			case r.measured == 0:
+				errCol = "inf"
+			default:
+				errCol = fmt.Sprintf("%+.1f%%", 100*float64(d)/float64(r.measured))
+			}
+		case r.predicted.Min > r.measured:
+			// A sound lower bound can never exceed the measurement.
+			errCol = "BOUND VIOLATED"
+		}
+		fmt.Fprintf(&b, "  %-20s %12s %12d %10s\n", r.name, r.predicted, r.measured, errCol)
+	}
+	return b.String()
+}
+
 // Stats are the measured execution statistics.
 type Stats = machine.Stats
 
@@ -289,7 +408,13 @@ func (m *Machine) LoadAssembly(name, src string) error {
 	if err != nil {
 		return err
 	}
-	return m.inner.LoadProgram(p)
+	if err := m.inner.LoadProgram(p); err != nil {
+		return err
+	}
+	// Assembly carries no local-data segments, so the bare program is a
+	// complete unit for cost prediction too.
+	m.compiled = &codegen.Compiled{Program: p}
+	return nil
 }
 
 // LoadBinary loads a TCFB object (produced by cmd/tcfas or isa.Encode).
@@ -298,7 +423,11 @@ func (m *Machine) LoadBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
-	return m.inner.LoadProgram(p)
+	if err := m.inner.LoadProgram(p); err != nil {
+		return err
+	}
+	m.compiled = &codegen.Compiled{Program: p}
+	return nil
 }
 
 // Reset returns the machine to its just-built state while keeping its
